@@ -1,0 +1,546 @@
+// Package aggview answers SQL queries with grouping and aggregation
+// using materialized views, implementing Dar, Jagadish, Levy and
+// Srivastava's "Reasoning with Aggregation Constraints in Views" (1996).
+//
+// A System bundles a catalog, a set of view definitions, an in-memory
+// multiset database and the rewriter:
+//
+//	s := aggview.New()
+//	s.MustLoad(`CREATE TABLE Calls(Call_Id, Plan_Id, Year, Charge) KEY(Call_Id)`)
+//	s.MustDefineView("V1", "SELECT Plan_Id, Year, SUM(Charge) FROM Calls GROUP BY Plan_Id, Year")
+//	... insert data, s.Materialize("V1") ...
+//	res, used, err := s.QueryBest("SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id")
+//
+// QueryBest rewrites the query to range over materialized views whenever
+// the paper's usability conditions hold and the cost model prefers it.
+package aggview
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/advisor"
+	"aggview/internal/core"
+	"aggview/internal/cost"
+	"aggview/internal/engine"
+	"aggview/internal/ir"
+	"aggview/internal/keys"
+	"aggview/internal/maintain"
+	"aggview/internal/schema"
+	"aggview/internal/sqlparser"
+	"aggview/internal/unnest"
+	"aggview/internal/value"
+)
+
+// Re-exported leaf types, so example programs and downstream users need
+// only this package.
+type (
+	// Value is a scalar database value.
+	Value = value.Value
+	// Result is a relation: attribute names plus a multiset of tuples.
+	Result = engine.Relation
+	// Rewriting is one view-based rewriting of a query.
+	Rewriting = core.Rewriting
+	// Options tunes the rewriter.
+	Options = core.Options
+	// Table declares a base table with keys and functional dependencies.
+	Table = schema.Table
+	// Stats maps source names to cardinalities for the cost model.
+	Stats = cost.Stats
+)
+
+// Int builds an integer value.
+func Int(i int64) Value { return value.Int(i) }
+
+// Float builds a floating-point value.
+func Float(f float64) Value { return value.Float(f) }
+
+// Str builds a string value.
+func Str(s string) Value { return value.Str(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return value.Bool(b) }
+
+// System is a self-contained database with materialized-view rewriting.
+type System struct {
+	Catalog *schema.Catalog
+	Views   *ir.Registry
+	DB      *engine.DB
+	Stats   cost.Stats
+	Opts    Options
+
+	maint *maintain.Maintainer
+}
+
+// New returns an empty system.
+func New() *System {
+	return &System{
+		Catalog: schema.NewCatalog(),
+		Views:   ir.NewRegistry(),
+		DB:      engine.NewDB(),
+		Stats:   cost.Stats{},
+	}
+}
+
+// source resolves names against base tables first, then views.
+func (s *System) source() ir.SchemaSource {
+	return ir.MultiSource{s.Catalog, s.Views}
+}
+
+// Rewriter returns the configured rewriter.
+func (s *System) Rewriter() *core.Rewriter {
+	return &core.Rewriter{
+		Schema: s.Catalog,
+		Views:  s.Views,
+		Meta:   keys.CatalogMeta{Catalog: s.Catalog},
+		Opts:   s.Opts,
+	}
+}
+
+// Load executes a script of CREATE TABLE and CREATE VIEW statements.
+// SELECT statements in the script are rejected — run them with Query.
+func (s *System) Load(script string) error {
+	stmts, err := sqlparser.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.CreateTable:
+			t := &schema.Table{Name: x.Name, Columns: x.Columns, Keys: x.Keys}
+			for _, fd := range x.FDs {
+				t.FDs = append(t.FDs, schema.FD{From: fd[0], To: fd[1]})
+			}
+			if err := s.Catalog.AddTable(t); err != nil {
+				return err
+			}
+		case *sqlparser.CreateView:
+			q, err := ir.Build(x.Query, s.source())
+			if err != nil {
+				return fmt.Errorf("view %s: %w", x.Name, err)
+			}
+			v, err := ir.NewViewDef(x.Name, q)
+			if err != nil {
+				return err
+			}
+			if err := s.Views.Add(v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("aggview: scripts may contain only CREATE TABLE and CREATE VIEW statements")
+		}
+	}
+	return nil
+}
+
+// MustLoad is Load, panicking on error (for examples and tests).
+func (s *System) MustLoad(script string) {
+	if err := s.Load(script); err != nil {
+		panic(err)
+	}
+}
+
+// AddTable registers a base table definition.
+func (s *System) AddTable(t *Table) error { return s.Catalog.AddTable(t) }
+
+// DefineView registers a materialized-view definition. The view is not
+// materialized until Materialize is called; until then queries over it
+// evaluate its definition on the fly.
+func (s *System) DefineView(name, sql string) error {
+	return s.Load("CREATE VIEW " + name + " AS " + sql)
+}
+
+// MustDefineView is DefineView, panicking on error.
+func (s *System) MustDefineView(name, sql string) {
+	if err := s.DefineView(name, sql); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends tuples to a base table, creating its relation on first
+// use and keeping cardinality statistics current.
+func (s *System) Insert(table string, rows ...[]Value) error {
+	t, ok := s.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("aggview: unknown table %q", table)
+	}
+	rel, ok := s.DB.Get(t.Name)
+	if !ok {
+		rel = engine.NewRelation(t.Columns...)
+		s.DB.Put(t.Name, rel)
+	}
+	for _, row := range rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("aggview: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+		}
+	}
+	if s.maint != nil {
+		if err := s.maint.Insert(t.Name, rows...); err != nil {
+			return err
+		}
+	} else {
+		rel.Tuples = append(rel.Tuples, rows...)
+	}
+	s.Stats[strings.ToLower(t.Name)] = float64(rel.Len())
+	for _, v := range s.Views.All() {
+		if m, ok := s.DB.Get(v.Name); ok {
+			s.Stats[strings.ToLower(v.Name)] = float64(m.Len())
+		}
+	}
+	return nil
+}
+
+// TrackView materializes a view and keeps it consistent under future
+// Insert calls: SUM/COUNT/MIN/MAX views merge per-group deltas, other
+// shapes recompute. It reports whether maintenance is incremental.
+// Tracking state is dropped by AdoptDB.
+func (s *System) TrackView(name string) (incremental bool, err error) {
+	if s.maint == nil {
+		s.maint = maintain.New(s.DB, s.Views)
+	}
+	// Materializing the view needs its base relations to exist, even when
+	// no rows have been inserted yet.
+	if v, ok := s.Views.Get(name); ok {
+		for _, t := range v.Def.Tables {
+			if _, exists := s.DB.Get(t.Source); exists {
+				continue
+			}
+			if tab, isTable := s.Catalog.Table(t.Source); isTable {
+				s.DB.Put(tab.Name, engine.NewRelation(tab.Columns...))
+			}
+		}
+	}
+	inc, err := s.maint.Track(name)
+	if err != nil {
+		return false, err
+	}
+	if rel, ok := s.DB.Get(name); ok {
+		s.Stats[strings.ToLower(name)] = float64(rel.Len())
+	}
+	return inc, nil
+}
+
+// SetRelation installs a pre-built relation as a base table's extension.
+func (s *System) SetRelation(table string, rel *Result) error {
+	t, ok := s.Catalog.Table(table)
+	if !ok {
+		return fmt.Errorf("aggview: unknown table %q", table)
+	}
+	if len(rel.Attrs) != len(t.Columns) {
+		return fmt.Errorf("aggview: relation arity %d does not match table %s", len(rel.Attrs), t.Name)
+	}
+	s.DB.Put(t.Name, rel)
+	s.Stats[strings.ToLower(t.Name)] = float64(rel.Len())
+	return nil
+}
+
+// AdoptDB replaces the system's database wholesale (e.g. with a
+// generated workload) and records the cardinalities of the named
+// relations.
+func (s *System) AdoptDB(db *engine.DB, names ...string) {
+	s.DB = db
+	s.maint = nil
+	for _, n := range names {
+		if rel, ok := db.Get(n); ok {
+			s.Stats[strings.ToLower(n)] = float64(rel.Len())
+		}
+	}
+}
+
+// Materialize evaluates a view's definition against the current database
+// and stores the result under the view's name, so subsequent queries
+// (and rewritings) scan the materialization instead of recomputing it.
+func (s *System) Materialize(name string) (*Result, error) {
+	v, ok := s.Views.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("aggview: unknown view %q", name)
+	}
+	res, err := engine.NewEvaluator(s.DB, s.Views).Exec(v.Def)
+	if err != nil {
+		return nil, err
+	}
+	res.Attrs = append([]string{}, v.OutCols...)
+	s.DB.Put(v.Name, res)
+	s.Stats[strings.ToLower(v.Name)] = float64(res.Len())
+	return res, nil
+}
+
+// Parse compiles a SELECT statement against the catalog and views.
+// Derived tables (FROM subqueries) are supported: they are hoisted into
+// anonymous view definitions handled transparently by Query, Plan and
+// Rewritings.
+func (s *System) Parse(sql string) (*ir.Query, error) {
+	q, _, err := s.parseMulti(sql)
+	return q, err
+}
+
+// parseMulti parses a possibly multi-block SELECT, returning the
+// hoisted anonymous views alongside the query.
+func (s *System) parseMulti(sql string) (*ir.Query, *ir.Registry, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ir.BuildMulti(sel, s.source())
+}
+
+// mergedViews layers anonymous subquery views over the registry.
+func (s *System) mergedViews(anon *ir.Registry) (*ir.Registry, error) {
+	if anon == nil || len(anon.All()) == 0 {
+		return s.Views, nil
+	}
+	reg := ir.NewRegistry()
+	for _, v := range s.Views.All() {
+		if err := reg.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range anon.All() {
+		if err := reg.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// Query parses and executes a SELECT directly (no rewriting).
+func (s *System) Query(sql string) (*Result, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := s.mergedViews(anon)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewEvaluator(s.DB, reg).Exec(q)
+}
+
+// MustQuery is Query, panicking on error.
+func (s *System) MustQuery(sql string) *Result {
+	r, err := s.Query(sql)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Rewritings parses the query and enumerates all rewritings that use
+// registered views (Theorems 3.1, 3.2 and 4.1). References to
+// unmaterialized logical views are first flattened into base tables
+// (the multi-block transformation of the paper's conclusion), so a
+// query over a logical view can be routed to a different materialized
+// one.
+func (s *System) Rewritings(sql string) ([]*Rewriting, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := s.flattenMulti(q, anon)
+	if err != nil {
+		return nil, err
+	}
+	rws := s.Rewriter().Rewritings(flat)
+	s.attachAnon(rws, anon)
+	return rws, nil
+}
+
+// attachAnon appends the anonymous subquery definitions a rewriting may
+// still reference to its auxiliary views so execution can resolve them.
+func (s *System) attachAnon(rws []*Rewriting, anon *ir.Registry) {
+	if anon == nil {
+		return
+	}
+	for _, r := range rws {
+		for _, v := range anon.All() {
+			for _, t := range r.Query.Tables {
+				if strings.EqualFold(t.Source, v.Name) {
+					r.Aux = append(r.Aux, v)
+					break
+				}
+			}
+		}
+	}
+}
+
+// flattenMulti merges unmaterialized views and anonymous subqueries
+// into the query block where bag semantics allows.
+func (s *System) flattenMulti(q *ir.Query, anon *ir.Registry) (*ir.Query, error) {
+	reg, err := s.mergedViews(anon)
+	if err != nil {
+		return nil, err
+	}
+	keep := func(name string) bool {
+		_, materialized := s.DB.Get(name)
+		return materialized
+	}
+	out, _ := unnest.Flatten(q, reg, keep)
+	return out, nil
+}
+
+// estimator builds the cost model over current statistics.
+func (s *System) estimator() *cost.Estimator {
+	return &cost.Estimator{Stats: s.Stats, Views: s.Views}
+}
+
+// Plan picks the cheapest evaluation strategy for the query: the
+// original plan or a view-based rewriting. It returns the chosen
+// rewriting (nil when the original query wins) without executing.
+func (s *System) Plan(sql string) (*Rewriting, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err = s.flattenMulti(q, anon)
+	if err != nil {
+		return nil, err
+	}
+	est := s.estimator()
+	bestCost := est.Estimate(q)
+	var best *Rewriting
+	rws := s.Rewriter().Rewritings(q)
+	s.attachAnon(rws, anon)
+	for _, r := range rws {
+		if c := est.Estimate(r.Query); c < bestCost {
+			bestCost, best = c, r
+		}
+	}
+	return best, nil
+}
+
+// QueryBest executes the query through its cheapest plan. The second
+// result is the rewriting used, or nil when the query ran directly.
+// Rewritings that reference unmaterialized views still work: their
+// definitions are evaluated on the fly.
+func (s *System) QueryBest(sql string) (*Result, *Rewriting, error) {
+	r, err := s.Plan(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r == nil {
+		res, err := s.Query(sql)
+		return res, nil, err
+	}
+	reg, err := s.viewsWithAux(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := engine.NewEvaluator(s.DB, reg).Exec(r.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, r, nil
+}
+
+// ExecRewriting executes a specific rewriting against the database.
+func (s *System) ExecRewriting(r *Rewriting) (*Result, error) {
+	reg, err := s.viewsWithAux(r)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewEvaluator(s.DB, reg).Exec(r.Query)
+}
+
+// viewsWithAux layers a rewriting's auxiliary views over the registry.
+func (s *System) viewsWithAux(r *Rewriting) (*ir.Registry, error) {
+	if len(r.Aux) == 0 {
+		return s.Views, nil
+	}
+	reg := ir.NewRegistry()
+	for _, v := range s.Views.All() {
+		if err := reg.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range r.Aux {
+		if err := reg.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// Recommendation is one view the advisor suggests materializing.
+type Recommendation = advisor.Recommendation
+
+// Advise recommends views to materialize for a workload of queries
+// (with optional weights; nil weights mean uniform). budgetRows caps
+// the estimated total size of the selected views; 0 means unlimited.
+func (s *System) Advise(queries []string, weights []float64, budgetRows float64) ([]Recommendation, error) {
+	var w advisor.Workload
+	for i, sql := range queries {
+		q, anon, err := s.parseMulti(sql)
+		if err != nil {
+			return nil, fmt.Errorf("workload query %d: %w", i+1, err)
+		}
+		flat, err := s.flattenMulti(q, anon)
+		if err != nil {
+			return nil, err
+		}
+		wq := advisor.WeightedQuery{Query: flat}
+		if weights != nil && i < len(weights) {
+			wq.Weight = weights[i]
+		}
+		w = append(w, wq)
+	}
+	a := &advisor.Advisor{
+		Schema: s.Catalog,
+		Meta:   keys.CatalogMeta{Catalog: s.Catalog},
+		Stats:  s.Stats,
+		Opts:   s.Opts,
+	}
+	return a.Recommend(w, budgetRows), nil
+}
+
+// AdoptRecommendations registers and materializes the advised views,
+// making them available to the rewriter.
+func (s *System) AdoptRecommendations(recs []Recommendation) ([]string, error) {
+	var names []string
+	for _, r := range recs {
+		if err := s.Views.Add(r.View); err != nil {
+			return names, err
+		}
+		if _, err := s.Materialize(r.View.Name); err != nil {
+			return names, err
+		}
+		names = append(names, r.View.Name)
+	}
+	return names, nil
+}
+
+// Explain renders a human-readable report of the rewritings available
+// for a query, with cost estimates.
+func (s *System) Explain(sql string) (string, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return "", err
+	}
+	q, err = s.flattenMulti(q, anon)
+	if err != nil {
+		return "", err
+	}
+	est := s.estimator()
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", q.SQL())
+	fmt.Fprintf(&b, "  estimated cost: %.0f\n", est.Estimate(q))
+	rws := s.Rewriter().Rewritings(q)
+	if len(rws) == 0 {
+		b.WriteString("no view-based rewritings found\n")
+		return b.String(), nil
+	}
+	for i, r := range rws {
+		fmt.Fprintf(&b, "rewriting %d (using %s, cost %.0f%s):\n  %s\n",
+			i+1, strings.Join(r.Used, ", "), est.Estimate(r.Query), setOnlyTag(r), r.SQL())
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "    - %s\n", n)
+		}
+	}
+	return b.String(), nil
+}
+
+func setOnlyTag(r *Rewriting) string {
+	if r.SetOnly {
+		return ", set semantics"
+	}
+	return ""
+}

@@ -1,0 +1,208 @@
+package aggview
+
+import (
+	"strings"
+	"testing"
+
+	"aggview/internal/datagen"
+	"aggview/internal/engine"
+)
+
+func telcoSystem(t *testing.T, calls int) *System {
+	t.Helper()
+	s := New()
+	s.Catalog = datagen.TelcoCatalog()
+	s.AdoptDB(datagen.Telco(datagen.TelcoConfig{Calls: calls, Seed: 7}),
+		"Calls", "Calling_Plans", "Customer")
+	s.MustDefineView("V1", `SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+		FROM Calls, Calling_Plans
+		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+		GROUP BY Calls.Plan_Id, Plan_Name, Month, Year`)
+	return s
+}
+
+const facadeQ = `SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+	FROM Calls, Calling_Plans
+	WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+	GROUP BY Calling_Plans.Plan_Id, Plan_Name
+	HAVING SUM(Charge) < 1000000`
+
+func TestSystemEndToEnd(t *testing.T) {
+	s := telcoSystem(t, 5000)
+	if _, err := s.Materialize("V1"); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := s.MustQuery(facadeQ)
+	res, used, err := s.QueryBest(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used == nil {
+		t.Fatal("QueryBest should pick the view-based plan")
+	}
+	if used.Used[0] != "V1" {
+		t.Errorf("wrong view: %v", used.Used)
+	}
+	if !engine.MultisetEqual(direct, res) {
+		t.Fatalf("rewritten result differs:\n%s\nvs\n%s", direct.Sorted(), res.Sorted())
+	}
+}
+
+func TestQueryBestFallsBackToDirect(t *testing.T) {
+	s := telcoSystem(t, 200)
+	// No view covers this query.
+	res, used, err := s.QueryBest("SELECT Cust_Id, COUNT(Call_Id) FROM Calls GROUP BY Cust_Id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != nil {
+		t.Error("no rewriting should be used")
+	}
+	if res.Len() == 0 {
+		t.Error("direct execution returned nothing")
+	}
+}
+
+func TestUnmaterializedViewStillWorks(t *testing.T) {
+	s := telcoSystem(t, 300)
+	// V1 is defined but not materialized; Plan may still pick it (it
+	// estimates the definition), and execution expands the definition.
+	res, _, err := s.QueryBest(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := s.MustQuery(facadeQ)
+	if !engine.MultisetEqual(direct, res) {
+		t.Fatal("on-the-fly view expansion differs from direct evaluation")
+	}
+}
+
+func TestLoadScript(t *testing.T) {
+	s := New()
+	err := s.Load(`
+		CREATE TABLE T(A, B) KEY(A) FD(B -> A);
+		CREATE VIEW V AS SELECT A, SUM(B) FROM T GROUP BY A;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Catalog.Table("T"); !ok {
+		t.Error("table not registered")
+	}
+	if _, ok := s.Views.Get("V"); !ok {
+		t.Error("view not registered")
+	}
+	if err := s.Load("SELECT A FROM T"); err == nil {
+		t.Error("bare SELECT in a script should be rejected")
+	}
+	if err := s.Load("CREATE VIEW W AS SELECT Z FROM T"); err == nil {
+		t.Error("bad view definition should be rejected")
+	}
+	if err := s.Load("CREATE TABLE T(A)"); err == nil {
+		t.Error("duplicate table should be rejected")
+	}
+	if err := s.Load("CREATE +"); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestInsertAndQuery(t *testing.T) {
+	s := New()
+	s.MustLoad("CREATE TABLE T(A, B)")
+	if err := s.Insert("T", []Value{Int(1), Str("x")}, []Value{Int(1), Str("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("T", []Value{Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := s.Insert("Nope", []Value{Int(1)}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	r := s.MustQuery("SELECT A, COUNT(B) FROM T GROUP BY A")
+	if r.Len() != 1 || r.Tuples[0][1].AsInt() != 2 {
+		t.Fatalf("unexpected result:\n%s", r)
+	}
+	if got := s.Stats["t"]; got != 2 {
+		t.Errorf("stats not maintained: %v", got)
+	}
+}
+
+func TestSetRelationValidation(t *testing.T) {
+	s := New()
+	s.MustLoad("CREATE TABLE T(A, B)")
+	bad := engine.NewRelation("X")
+	if err := s.SetRelation("T", bad); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := s.SetRelation("Nope", bad); err == nil {
+		t.Error("unknown table should fail")
+	}
+	good := engine.NewRelation("A", "B")
+	good.Add(Int(1), Int(2))
+	if err := s.SetRelation("T", good); err != nil {
+		t.Fatal(err)
+	}
+	if s.MustQuery("SELECT A FROM T").Len() != 1 {
+		t.Error("relation not installed")
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	s := New()
+	if _, err := s.Materialize("V"); err == nil {
+		t.Error("unknown view should fail")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := telcoSystem(t, 500)
+	if _, err := s.Materialize("V1"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Explain(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"rewriting 1", "using V1", "Conds'"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+	out2, err := s.Explain("SELECT Cust_Id FROM Calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "no view-based rewritings") {
+		t.Errorf("Explain should report absence: %s", out2)
+	}
+	if _, err := s.Explain("SELECT nope FROM Calls"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestRewritingsAPI(t *testing.T) {
+	s := telcoSystem(t, 100)
+	rws, err := s.Rewritings(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("expected rewritings")
+	}
+	r, err := s.ExecRewriting(rws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := s.MustQuery(facadeQ)
+	if !engine.MultisetEqual(direct, r) {
+		t.Error("ExecRewriting differs from direct execution")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if Int(3).AsInt() != 3 || Float(2.5).AsFloat() != 2.5 ||
+		Str("a").AsString() != "a" || !Bool(true).AsBool() {
+		t.Error("value constructors broken")
+	}
+}

@@ -1,0 +1,210 @@
+// Aggview is the command-line front end to the rewriter: it loads a SQL
+// script (CREATE TABLE / CREATE VIEW declarations followed by SELECT
+// statements), optionally loads CSV data, and for each SELECT prints the
+// view-based rewritings, the chosen plan, and — when data is loaded —
+// the results.
+//
+// Usage:
+//
+//	aggview [-data table=file.csv ...] [-exec] [-paper-faithful] script.sql
+//	aggview -demo          # run the built-in Example 1.1 demo
+//
+// Script example:
+//
+//	CREATE TABLE Calls(Call_Id, Plan_Id, Year, Charge) KEY(Call_Id);
+//	CREATE VIEW V1 AS SELECT Plan_Id, Year, SUM(Charge) FROM Calls GROUP BY Plan_Id, Year;
+//	SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id;
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aggview"
+	"aggview/internal/datagen"
+	"aggview/internal/engine"
+	"aggview/internal/sqlparser"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var data dataFlags
+	flag.Var(&data, "data", "load CSV data: table=file.csv (repeatable)")
+	exec := flag.Bool("exec", false, "execute each query (requires data)")
+	plan := flag.Bool("plan", false, "print the engine's physical plan for each query")
+	paperFaithful := flag.Bool("paper-faithful", false, "restrict to the paper's original operations (no arithmetic inside aggregates)")
+	demo := flag.Bool("demo", false, "run the built-in Example 1.1 demo")
+	flag.Parse()
+
+	if *demo {
+		runDemo()
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aggview [flags] script.sql  (or aggview -demo)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	script, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	s := aggview.New()
+	s.Opts.PaperFaithful = *paperFaithful
+
+	stmts, err := sqlparser.ParseScript(string(script))
+	if err != nil {
+		fatal(err)
+	}
+	var queries []string
+	var decls []string
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.QueryStatement:
+			queries = append(queries, x.Query.SQL())
+		case *sqlparser.CreateView:
+			decls = append(decls, "CREATE VIEW "+x.Name+" AS "+x.Query.SQL())
+		case *sqlparser.CreateTable:
+			decl := "CREATE TABLE " + x.Name + "(" + strings.Join(x.Columns, ", ") + ")"
+			for _, k := range x.Keys {
+				decl += " KEY(" + strings.Join(k, ", ") + ")"
+			}
+			for _, fd := range x.FDs {
+				decl += " FD(" + strings.Join(fd[0], ", ") + " -> " + strings.Join(fd[1], ", ") + ")"
+			}
+			decls = append(decls, decl)
+		}
+	}
+	if err := s.Load(strings.Join(decls, ";\n")); err != nil {
+		fatal(err)
+	}
+	for _, spec := range data {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -data %q, want table=file.csv", spec))
+		}
+		if err := loadCSV(s, name, file); err != nil {
+			fatal(err)
+		}
+	}
+	// Materialize every declared view so rewritten plans scan
+	// materializations.
+	if len(data) > 0 {
+		for _, v := range s.Views.All() {
+			if _, err := s.Materialize(v.Name); err != nil {
+				fatal(fmt.Errorf("materializing %s: %w", v.Name, err))
+			}
+		}
+	}
+
+	for i, q := range queries {
+		fmt.Printf("-- query %d --\n", i+1)
+		report, err := s.Explain(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if *plan {
+			q, err := s.Parse(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print("physical plan:\n" + engine.NewEvaluator(s.DB, s.Views).Explain(q))
+		}
+		if *exec {
+			res, used, err := s.QueryBest(q)
+			if err != nil {
+				fatal(err)
+			}
+			if used != nil {
+				fmt.Printf("executed via %v\n", used.Used)
+			} else {
+				fmt.Println("executed directly")
+			}
+			fmt.Println(res.Sorted())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggview:", err)
+	os.Exit(1)
+}
+
+// loadCSV reads a headerless CSV file into a declared table, inferring
+// int, float or string per cell.
+func loadCSV(s *aggview.System, table, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	rows := make([][]aggview.Value, 0, len(records))
+	for _, rec := range records {
+		row := make([]aggview.Value, len(rec))
+		for i, cell := range rec {
+			row[i] = parseCell(strings.TrimSpace(cell))
+		}
+		rows = append(rows, row)
+	}
+	return s.Insert(table, rows...)
+}
+
+func parseCell(cell string) aggview.Value {
+	if n, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return aggview.Int(n)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return aggview.Float(f)
+	}
+	return aggview.Str(cell)
+}
+
+// runDemo executes Example 1.1 end to end on generated data.
+func runDemo() {
+	s := aggview.New()
+	s.Catalog = datagen.TelcoCatalog()
+	s.AdoptDB(datagen.Telco(datagen.TelcoConfig{Calls: 50000, Seed: 1}),
+		"Calls", "Calling_Plans", "Customer")
+	s.MustDefineView("V1", `
+		SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+		FROM Calls, Calling_Plans
+		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+		GROUP BY Calls.Plan_Id, Plan_Name, Month, Year`)
+	if _, err := s.Materialize("V1"); err != nil {
+		fatal(err)
+	}
+	q := `SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+		FROM Calls, Calling_Plans
+		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+		GROUP BY Calling_Plans.Plan_Id, Plan_Name
+		HAVING SUM(Charge) < 1000000`
+	report, err := s.Explain(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report)
+	res, used, err := s.QueryBest(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nexecuted via %v:\n%s", used.Used, res.Sorted())
+}

@@ -1,0 +1,93 @@
+package aggview_test
+
+import (
+	"fmt"
+
+	"aggview"
+)
+
+// ExampleSystem_QueryBest shows the basic loop: declare a schema and a
+// summary view, load data, materialize, and let the planner route a
+// query to the view.
+func ExampleSystem_QueryBest() {
+	s := aggview.New()
+	s.MustLoad(`
+		CREATE TABLE Calls(Call_Id, Plan_Id, Year, Charge) KEY(Call_Id);
+		CREATE VIEW Annual AS
+			SELECT Plan_Id, Year, SUM(Charge), COUNT(Charge)
+			FROM Calls GROUP BY Plan_Id, Year;
+	`)
+	rows := [][]aggview.Value{
+		{aggview.Int(1), aggview.Int(7), aggview.Int(1995), aggview.Int(100)},
+		{aggview.Int(2), aggview.Int(7), aggview.Int(1995), aggview.Int(250)},
+		{aggview.Int(3), aggview.Int(8), aggview.Int(1995), aggview.Int(40)},
+		{aggview.Int(4), aggview.Int(7), aggview.Int(1994), aggview.Int(999)},
+	}
+	if err := s.Insert("Calls", rows...); err != nil {
+		panic(err)
+	}
+	if _, err := s.Materialize("Annual"); err != nil {
+		panic(err)
+	}
+
+	res, used, err := s.QueryBest(
+		"SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("answered via:", used.Used[0])
+	for _, row := range res.Sorted().Tuples {
+		fmt.Printf("plan %v earned %v\n", row[0], row[1])
+	}
+	// Output:
+	// answered via: Annual
+	// plan 7 earned 350
+	// plan 8 earned 40
+}
+
+// ExampleSystem_Rewritings enumerates every usable rewriting of a query
+// instead of executing one.
+func ExampleSystem_Rewritings() {
+	s := aggview.New()
+	s.MustLoad(`
+		CREATE TABLE R1(A, B, C, D);
+		CREATE VIEW V41 AS SELECT A, C, COUNT(D) FROM R1 WHERE B = D GROUP BY A, C;
+	`)
+	rws, err := s.Rewritings("SELECT A, COUNT(B) FROM R1 WHERE B = D GROUP BY A")
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rws {
+		fmt.Println(r.Query.SQL())
+	}
+	// Output:
+	// SELECT A, SUM(count_D) FROM V41 GROUP BY A
+}
+
+// ExampleSystem_TrackView maintains a materialized summary under
+// inserts.
+func ExampleSystem_TrackView() {
+	s := aggview.New()
+	s.MustLoad(`
+		CREATE TABLE Txns(Txn_Id, Acct_Id, Amount) KEY(Txn_Id);
+		CREATE VIEW Totals AS SELECT Acct_Id, SUM(Amount) FROM Txns GROUP BY Acct_Id;
+	`)
+	inc, err := s.TrackView("Totals")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("incremental:", inc)
+	for i := int64(0); i < 4; i++ {
+		if err := s.Insert("Txns", []aggview.Value{aggview.Int(i), aggview.Int(i % 2), aggview.Int(10)}); err != nil {
+			panic(err)
+		}
+	}
+	res := s.MustQuery("SELECT Acct_Id, sum_Amount FROM Totals")
+	for _, row := range res.Sorted().Tuples {
+		fmt.Printf("account %v total %v\n", row[0], row[1])
+	}
+	// Output:
+	// incremental: true
+	// account 0 total 20
+	// account 1 total 20
+}

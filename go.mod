@@ -1,0 +1,3 @@
+module aggview
+
+go 1.22

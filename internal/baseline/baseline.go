@@ -1,0 +1,252 @@
+// Package baseline implements the comparison algorithm of the paper's
+// related-work discussion: a syntactic view matcher in the style the
+// paper attributes to Gupta, Harinarayan and Quass [GHQ95].
+//
+// Per Section 6, that approach "does not take the conditions in the
+// WHERE and HAVING clauses into account when comparing Sel(Q) with
+// Sel(V) and Groups(Q) with Groups(V)", so it misses usability that
+// depends on inferred column equalities — including the paper's own
+// motivating Example 1.1, where the query groups by
+// Calling_Plans.Plan_Id but the view exposes Calls.Plan_Id, equal only
+// through the join predicate.
+//
+// The matcher here is deliberately faithful to that characterization:
+// it requires exact (identity) correspondence between the query's
+// needed columns and the view's exposed columns under the table
+// mapping, syntactic containment of the view's conditions in the
+// query's, and a residual whose atoms appear literally in the query. It
+// exists as the experimental baseline (experiment E13), not as a
+// production path.
+package baseline
+
+import (
+	"aggview/internal/ir"
+)
+
+// Usable reports whether the syntactic matcher accepts view v for query
+// q under some 1-1 table mapping.
+func Usable(q *ir.Query, v *ir.ViewDef) bool {
+	def := v.Def
+	if def.Distinct || q.Distinct {
+		return false
+	}
+	if def.IsAggregationQuery() && !q.IsAggregationQuery() {
+		return false
+	}
+	for _, m := range mappings(def, q) {
+		if matches(q, def, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// mappings enumerates 1-1 source-name-preserving table assignments,
+// mirroring the core rewriter's condition C1.
+func mappings(v, q *ir.Query) [][]int {
+	n := len(v.Tables)
+	cands := make([][]int, n)
+	for i, vt := range v.Tables {
+		for j, qt := range q.Tables {
+			if equalFold(vt.Source, qt.Source) {
+				cands[i] = append(cands[i], j)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return nil
+		}
+	}
+	var out [][]int
+	assign := make([]int, n)
+	used := map[int]bool{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int{}, assign...))
+			return
+		}
+		for _, j := range cands[i] {
+			if used[j] {
+				continue
+			}
+			assign[i] = j
+			used[j] = true
+			rec(i + 1)
+			used[j] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// matches checks the syntactic conditions for one mapping.
+func matches(q, v *ir.Query, tableMap []int) bool {
+	sigma := make([]ir.ColID, v.NumCols())
+	covered := map[ir.ColID]bool{}
+	coveredTables := map[int]bool{}
+	for vi, qi := range tableMap {
+		coveredTables[qi] = true
+		for pos, vc := range v.Tables[vi].Cols {
+			sigma[vc] = q.Tables[qi].Cols[pos]
+			covered[q.Tables[qi].Cols[pos]] = true
+		}
+	}
+
+	// Exposed view outputs, by exact sigma image (no equality closure).
+	exposedBare := map[ir.ColID]bool{}
+	exposedAgg := map[[2]int32]bool{} // (func, sigma(argcol))
+	hasCount := false
+	for _, it := range v.Select {
+		switch x := it.Expr.(type) {
+		case *ir.ColRef:
+			exposedBare[sigma[x.Col]] = true
+		case *ir.Agg:
+			if c, ok := x.Arg.(*ir.ColRef); ok {
+				exposedAgg[[2]int32{int32(x.Func), int32(sigma[c.Col])}] = true
+				if x.Func == ir.AggCount {
+					hasCount = true
+				}
+			}
+		}
+	}
+
+	// Syntactic Groups containment: every query grouping column from a
+	// covered table must be an exact exposed bare output.
+	for _, g := range q.GroupBy {
+		if covered[g] && !exposedBare[g] {
+			return false
+		}
+	}
+	// SELECT bare columns likewise.
+	for _, c := range q.ColSel() {
+		if covered[c] && !exposedBare[c] {
+			return false
+		}
+	}
+	// Aggregates: identical function over the identical image, or (for
+	// aggregation views) derivable coalescings: SUM of SUM, SUM of
+	// COUNT, MIN of MIN, MAX of MAX — still matched syntactically.
+	vIsAgg := v.IsAggregationQuery()
+	check := func(e ir.Expr) bool {
+		ok := true
+		var walk func(e ir.Expr)
+		walk = func(e ir.Expr) {
+			switch x := e.(type) {
+			case *ir.Agg:
+				c, isCol := x.Arg.(*ir.ColRef)
+				if !isCol {
+					ok = false
+					return
+				}
+				if !covered[c.Col] {
+					// Argument from an uncovered table: needs COUNT for
+					// SUM/COUNT scaling, like the real algorithm.
+					if (x.Func == ir.AggSum || x.Func == ir.AggCount || x.Func == ir.AggAvg) && vIsAgg && !hasCount {
+						ok = false
+					}
+					return
+				}
+				if !vIsAgg {
+					// Conjunctive view: the argument column must be
+					// exposed verbatim.
+					if !exposedBare[c.Col] && x.Func != ir.AggCount {
+						ok = false
+					}
+					return
+				}
+				switch {
+				case exposedAgg[[2]int32{int32(x.Func), int32(c.Col)}] && x.Func != ir.AggAvg:
+					// SUM<-SUM, MIN<-MIN, MAX<-MAX, COUNT<-COUNT.
+					if x.Func == ir.AggCount && !hasCount {
+						ok = false
+					}
+				case exposedBare[c.Col] && (x.Func == ir.AggMin || x.Func == ir.AggMax):
+				case exposedBare[c.Col] && x.Func == ir.AggSum && hasCount:
+				case x.Func == ir.AggCount && hasCount:
+				default:
+					ok = false
+				}
+			case *ir.Arith:
+				walk(x.L)
+				walk(x.R)
+			}
+		}
+		walk(e)
+		return ok
+	}
+	for _, it := range q.Select {
+		if !check(it.Expr) {
+			return false
+		}
+	}
+	for _, h := range q.Having {
+		if !check(h.L) || !check(h.R) {
+			return false
+		}
+	}
+
+	// Syntactic condition containment: every view atom (under sigma)
+	// must appear literally among the query's atoms, and every remaining
+	// query atom must only use uncovered or exactly-exposed columns.
+	qAtoms := map[string]int{}
+	for _, p := range q.Where {
+		qAtoms[predKey(q, p)]++
+	}
+	for _, p := range v.Where {
+		mapped := ir.MapPredCols(p, func(c ir.ColID) ir.ColID { return sigma[c] })
+		key := predKey(q, mapped)
+		if qAtoms[key] == 0 {
+			return false
+		}
+		qAtoms[key]--
+	}
+	for _, p := range q.Where {
+		key := predKey(q, p)
+		if qAtoms[key] == 0 {
+			continue
+		}
+		usable := true
+		for _, term := range []ir.Term{p.L, p.R} {
+			if !term.IsConst && covered[term.Col] && !exposedBare[term.Col] {
+				usable = false
+			}
+		}
+		if !usable {
+			return false
+		}
+	}
+
+	// View HAVING: the syntactic matcher only accepts views without one
+	// (the paper's baseline does not reason about group filters).
+	return len(v.Having) == 0
+}
+
+// predKey renders an atom in a direction-normalized form for literal
+// matching.
+func predKey(q *ir.Query, p ir.Pred) string {
+	a := q.PredSQL(p)
+	b := q.PredSQL(ir.Pred{Op: p.Op.Flip(), L: p.R, R: p.L})
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,372 @@
+// Package constraints implements reasoning over conjunctions of built-in
+// predicates of the paper's language: atoms A op B where A, B are
+// variables (columns) or constants and op is one of =, <>, <, <=, >, >=.
+//
+// It provides the closure computation the paper relies on (footnote 2 of
+// Section 3): satisfiability, entailment (Implies), equivalence, the full
+// set of entailed atoms (Atoms), and the residual computation that
+// conditions C3/C3' need — given Conds(Q) and sigma(Conds(V)), find
+// Conds' over an allowed column set with
+// Conds(Q) == sigma(Conds(V)) AND Conds'.
+//
+// The decision procedure treats the ordered domain as dense (standard for
+// this predicate class): it combines union-find over equalities, a
+// strongest-relation matrix closed transitively (Floyd-Warshall over
+// {<=, <}), disequality strengthening (x<=y and x<>y give x<y), and
+// equality derivation (x<=y and y<=x merge classes), iterated to a
+// fixpoint. For the point-algebra fragment this propagation decides
+// satisfiability, so entailment by refutation is complete.
+package constraints
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// Var is an abstract variable; the rewriter maps column IDs to Vars.
+type Var int32
+
+// Term is a variable or a constant.
+type Term struct {
+	IsConst bool
+	V       Var
+	C       value.Value
+}
+
+// V builds a variable term.
+func V(v Var) Term { return Term{V: v} }
+
+// C builds a constant term.
+func C(val value.Value) Term { return Term{IsConst: true, C: val} }
+
+// Atom is one predicate: L op R.
+type Atom struct {
+	Op   ir.Op
+	L, R Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(l Term, op ir.Op, r Term) Atom { return Atom{Op: op, L: l, R: r} }
+
+// Negate returns the complement atom (NOT a).
+func (a Atom) Negate() Atom { return Atom{Op: a.Op.Negate(), L: a.L, R: a.R} }
+
+// String renders the atom for debugging.
+func (a Atom) String() string {
+	return a.L.String() + " " + a.Op.String() + " " + a.R.String()
+}
+
+// String renders the term for debugging.
+func (t Term) String() string {
+	if t.IsConst {
+		return t.C.String()
+	}
+	return fmt.Sprintf("v%d", t.V)
+}
+
+// Conj is a conjunction of atoms.
+type Conj []Atom
+
+// String renders the conjunction for debugging.
+func (c Conj) String() string {
+	if len(c) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// rel is the strongest known order relation from one node to another.
+type rel uint8
+
+const (
+	relNone rel = iota
+	relLeq
+	relLt
+)
+
+// Closure is the deductive closure of a conjunction.
+type Closure struct {
+	conj    Conj
+	derived Conj // strict-order atoms derived by disequality strengthening
+	sat     bool
+
+	parent []int          // union-find over nodes
+	nodes  []nodeInfo     // node metadata
+	varOf  map[Var]int    // variable -> node
+	cnode  map[string]int // constant key -> node
+
+	m         [][]rel         // strongest order relation between representatives
+	neq       map[[2]int]bool // disequalities between representatives
+	repsCache []int           // representatives matching m's indices
+	idxCache  map[int]int     // representative node -> dense index
+}
+
+type nodeInfo struct {
+	isConst bool
+	v       Var
+	c       value.Value
+}
+
+// Close computes the closure of the conjunction. The result is always
+// non-nil; Sat reports whether the conjunction is satisfiable.
+func Close(c Conj) *Closure {
+	cl := &Closure{conj: c, sat: true, varOf: map[Var]int{}, cnode: map[string]int{}}
+	for _, a := range c {
+		cl.node(a.L)
+		cl.node(a.R)
+	}
+	// Union explicit equalities first.
+	for _, a := range c {
+		if a.Op == ir.OpEq {
+			if !cl.union(cl.node(a.L), cl.node(a.R)) {
+				cl.sat = false
+				return cl
+			}
+		}
+	}
+	cl.fixpoint()
+	return cl
+}
+
+// node interns a term as a node index.
+func (cl *Closure) node(t Term) int {
+	if t.IsConst {
+		key := t.C.Key()
+		if n, ok := cl.cnode[key]; ok {
+			return n
+		}
+		n := cl.addNode(nodeInfo{isConst: true, c: t.C})
+		cl.cnode[key] = n
+		return n
+	}
+	if n, ok := cl.varOf[t.V]; ok {
+		return n
+	}
+	n := cl.addNode(nodeInfo{v: t.V})
+	cl.varOf[t.V] = n
+	return n
+}
+
+func (cl *Closure) addNode(info nodeInfo) int {
+	n := len(cl.nodes)
+	cl.nodes = append(cl.nodes, info)
+	cl.parent = append(cl.parent, n)
+	return n
+}
+
+func (cl *Closure) find(n int) int {
+	for cl.parent[n] != n {
+		cl.parent[n] = cl.parent[cl.parent[n]]
+		n = cl.parent[n]
+	}
+	return n
+}
+
+// union merges two classes; it reports false when the merge is
+// contradictory (two distinct constants, or incomparable constant kinds).
+func (cl *Closure) union(a, b int) bool {
+	ra, rb := cl.find(a), cl.find(b)
+	if ra == rb {
+		return true
+	}
+	ca, okA := cl.classConst(ra)
+	cb, okB := cl.classConst(rb)
+	if okA && okB && !value.Equal(ca, cb) {
+		return false
+	}
+	// Keep a constant-bearing node as the representative.
+	if okB && !okA {
+		ra, rb = rb, ra
+	}
+	cl.parent[rb] = ra
+	return true
+}
+
+// classConst returns the constant a class is pinned to, if any.
+func (cl *Closure) classConst(repr int) (value.Value, bool) {
+	// Representative choice keeps constants as reps (see union), so a
+	// pinned class has a constant representative.
+	if cl.nodes[repr].isConst {
+		return cl.nodes[repr].c, true
+	}
+	return value.Value{}, false
+}
+
+// fixpoint iterates matrix closure, disequality strengthening and class
+// merging until nothing changes.
+func (cl *Closure) fixpoint() {
+	limit := len(cl.nodes)*len(cl.nodes) + 4*len(cl.nodes) + 8
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			// Each productive iteration merges classes or strengthens an
+			// edge; this bound can only be hit by a bug.
+			panic("constraints: fixpoint did not converge")
+		}
+		reps, idx := cl.representatives()
+		n := len(reps)
+		m := make([][]rel, n)
+		for i := range m {
+			m[i] = make([]rel, n)
+		}
+		neq := map[[2]int]bool{}
+		addRel := func(i, j int, r rel) {
+			if r > m[i][j] {
+				m[i][j] = r
+			}
+		}
+		// Seed from the original atoms plus any derived strict orders
+		// (derived atoms persist across iterations; the matrix does not).
+		bad := false
+		for _, a := range append(append(Conj{}, cl.conj...), cl.derived...) {
+			li, ri := idx[cl.find(cl.node(a.L))], idx[cl.find(cl.node(a.R))]
+			switch a.Op {
+			case ir.OpEq:
+				// Already unioned.
+			case ir.OpNeq:
+				if li == ri {
+					bad = true
+				}
+				neq[pair(li, ri)] = true
+			case ir.OpLt:
+				addRel(li, ri, relLt)
+			case ir.OpLeq:
+				addRel(li, ri, relLeq)
+			case ir.OpGt:
+				addRel(ri, li, relLt)
+			case ir.OpGeq:
+				addRel(ri, li, relLeq)
+			}
+		}
+		// Seed constant-constant facts and constant disequalities.
+		for i := 0; i < n; i++ {
+			ci, okI := cl.classConst(reps[i])
+			if !okI {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				cj, okJ := cl.classConst(reps[j])
+				if !okJ {
+					continue
+				}
+				// Distinct classes with constants are unequal constants.
+				neq[pair(i, j)] = true
+				if value.Comparable(ci, cj) {
+					if value.Compare(ci, cj) < 0 {
+						addRel(i, j, relLt)
+					} else {
+						addRel(j, i, relLt)
+					}
+				}
+			}
+		}
+		if bad {
+			cl.sat = false
+			return
+		}
+		// Transitive closure.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if m[i][k] == relNone {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if m[k][j] == relNone {
+						continue
+					}
+					r := relLeq
+					if m[i][k] == relLt || m[k][j] == relLt {
+						r = relLt
+					}
+					addRel(i, j, r)
+				}
+			}
+		}
+		// Contradictions: strict self-loop, or x<=y,y<=x with x<>y handled
+		// below via strengthening then re-close.
+		for i := 0; i < n; i++ {
+			if m[i][i] == relLt {
+				cl.sat = false
+				return
+			}
+		}
+		changed := false
+		// Strengthen: x<=y and x<>y imply x<y. Derived strict orders are
+		// recorded as atoms so they survive the matrix rebuild.
+		for p := range neq {
+			i, j := p[0], p[1]
+			if m[i][j] == relLeq {
+				m[i][j] = relLt
+				cl.derived = append(cl.derived, Atom{Op: ir.OpLt, L: cl.termOf(reps[i]), R: cl.termOf(reps[j])})
+				changed = true
+			}
+			if m[j][i] == relLeq {
+				m[j][i] = relLt
+				cl.derived = append(cl.derived, Atom{Op: ir.OpLt, L: cl.termOf(reps[j]), R: cl.termOf(reps[i])})
+				changed = true
+			}
+		}
+		// Merge: x<=y and y<=x derive x=y.
+		for i := 0; i < n && cl.sat; i++ {
+			for j := i + 1; j < n; j++ {
+				if m[i][j] == relLeq && m[j][i] == relLeq {
+					if neq[pair(i, j)] {
+						cl.sat = false
+						return
+					}
+					if !cl.union(reps[i], reps[j]) {
+						cl.sat = false
+						return
+					}
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			cl.m = m
+			cl.neq = neq
+			cl.repsCache = reps
+			cl.idxCache = idx
+			return
+		}
+	}
+}
+
+// termOf reconstructs a Term for a node, for recording derived atoms.
+func (cl *Closure) termOf(node int) Term {
+	info := cl.nodes[node]
+	if info.isConst {
+		return C(info.c)
+	}
+	return V(info.v)
+}
+
+func pair(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// representatives lists class representatives and a node->dense-index map.
+func (cl *Closure) representatives() ([]int, map[int]int) {
+	var reps []int
+	idx := map[int]int{}
+	for n := range cl.nodes {
+		r := cl.find(n)
+		if _, ok := idx[r]; !ok {
+			idx[r] = len(reps)
+			reps = append(reps, r)
+		}
+	}
+	return reps, idx
+}
+
+// Sat reports whether the conjunction is satisfiable.
+func (cl *Closure) Sat() bool { return cl.sat }

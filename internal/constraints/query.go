@@ -1,0 +1,295 @@
+package constraints
+
+import (
+	"sort"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// Implies reports whether the conjunction entails the atom. An
+// unsatisfiable conjunction entails everything. Entailment is decided by
+// refutation when the atom mentions terms outside the closure, and
+// directly on the relation matrix otherwise.
+func (cl *Closure) Implies(a Atom) bool {
+	if !cl.sat {
+		return true
+	}
+	li, okL := cl.lookup(a.L)
+	ri, okR := cl.lookup(a.R)
+	if okL && okR {
+		return cl.impliesIdx(li, a.Op, ri)
+	}
+	// Refutation: conj AND NOT(a) unsatisfiable iff conj implies a.
+	return !Close(append(append(Conj{}, cl.conj...), a.Negate())).Sat()
+}
+
+// lookup finds the dense matrix index of a term, if it was mentioned.
+func (cl *Closure) lookup(t Term) (int, bool) {
+	var n int
+	if t.IsConst {
+		var ok bool
+		n, ok = cl.cnode[t.C.Key()]
+		if !ok {
+			return 0, false
+		}
+	} else {
+		var ok bool
+		n, ok = cl.varOf[t.V]
+		if !ok {
+			return 0, false
+		}
+	}
+	i, ok := cl.idxCache[cl.find(n)]
+	return i, ok
+}
+
+func (cl *Closure) impliesIdx(li int, op ir.Op, ri int) bool {
+	if li == ri {
+		return op == ir.OpEq || op == ir.OpLeq || op == ir.OpGeq
+	}
+	switch op {
+	case ir.OpEq:
+		return false // distinct representatives after fixpoint
+	case ir.OpNeq:
+		return cl.neqIdx(li, ri)
+	case ir.OpLt:
+		return cl.m[li][ri] == relLt
+	case ir.OpLeq:
+		return cl.m[li][ri] != relNone
+	case ir.OpGt:
+		return cl.m[ri][li] == relLt
+	case ir.OpGeq:
+		return cl.m[ri][li] != relNone
+	default:
+		return false
+	}
+}
+
+// neqIdx reports a derivable disequality between two classes.
+func (cl *Closure) neqIdx(li, ri int) bool {
+	if cl.neq[pair(li, ri)] {
+		return true
+	}
+	if cl.m[li][ri] == relLt || cl.m[ri][li] == relLt {
+		return true
+	}
+	ci, okI := cl.classConst(cl.repsCache[li])
+	cj, okJ := cl.classConst(cl.repsCache[ri])
+	return okI && okJ && !value.Equal(ci, cj)
+}
+
+// ImpliesAll reports whether the closure entails every atom of d.
+func (cl *Closure) ImpliesAll(d Conj) bool {
+	for _, a := range d {
+		if !cl.Implies(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars lists the variables mentioned in the closed conjunction, sorted.
+func (cl *Closure) Vars() []Var {
+	out := make([]Var, 0, len(cl.varOf))
+	for v := range cl.varOf {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Atoms returns the entailed atoms between the mentioned terms — the
+// paper's closure of Conds. For each variable pair the strongest order
+// or equality fact is emitted; for each variable its pin or tightest
+// constant bounds and disequalities. The result is sound (every atom is
+// entailed) and complete for residual computation over this fragment.
+func (cl *Closure) Atoms() Conj {
+	if !cl.sat {
+		return Conj{{Op: ir.OpLt, L: C(value.Int(0)), R: C(value.Int(0))}}
+	}
+	vars := cl.Vars()
+	var out Conj
+	// Variable-variable facts.
+	for i, u := range vars {
+		ui, _ := cl.lookup(V(u))
+		for _, w := range vars[i+1:] {
+			wi, _ := cl.lookup(V(w))
+			if ui == wi {
+				out = append(out, Atom{Op: ir.OpEq, L: V(u), R: V(w)})
+				continue
+			}
+			switch {
+			case cl.m[ui][wi] == relLt:
+				out = append(out, Atom{Op: ir.OpLt, L: V(u), R: V(w)})
+			case cl.m[ui][wi] == relLeq:
+				out = append(out, Atom{Op: ir.OpLeq, L: V(u), R: V(w)})
+			case cl.m[wi][ui] == relLt:
+				out = append(out, Atom{Op: ir.OpGt, L: V(u), R: V(w)})
+			case cl.m[wi][ui] == relLeq:
+				out = append(out, Atom{Op: ir.OpGeq, L: V(u), R: V(w)})
+			}
+			if cl.m[ui][wi] != relLt && cl.m[wi][ui] != relLt && cl.neqIdx(ui, wi) {
+				out = append(out, Atom{Op: ir.OpNeq, L: V(u), R: V(w)})
+			}
+		}
+	}
+	// Variable-constant facts.
+	for _, u := range vars {
+		ui, _ := cl.lookup(V(u))
+		if pin, ok := cl.classConst(cl.repsCache[ui]); ok {
+			out = append(out, Atom{Op: ir.OpEq, L: V(u), R: C(pin)})
+			continue
+		}
+		lo, loStrict, hasLo := cl.bound(ui, false)
+		hi, hiStrict, hasHi := cl.bound(ui, true)
+		if hasLo {
+			op := ir.OpGeq
+			if loStrict {
+				op = ir.OpGt
+			}
+			out = append(out, Atom{Op: op, L: V(u), R: C(lo)})
+		}
+		if hasHi {
+			op := ir.OpLeq
+			if hiStrict {
+				op = ir.OpLt
+			}
+			out = append(out, Atom{Op: op, L: V(u), R: C(hi)})
+		}
+		// Disequalities against constants not already covered by strict
+		// bounds.
+		for _, c := range cl.constants() {
+			cIdx, ok := cl.lookup(C(c))
+			if !ok || cIdx == ui {
+				continue
+			}
+			if cl.m[ui][cIdx] == relLt || cl.m[cIdx][ui] == relLt {
+				continue // implied by a strict bound already emitted
+			}
+			if cl.neq[pair(ui, cIdx)] {
+				out = append(out, Atom{Op: ir.OpNeq, L: V(u), R: C(c)})
+			}
+		}
+	}
+	return out
+}
+
+// constants lists the distinct constants mentioned, in deterministic
+// order.
+func (cl *Closure) constants() []value.Value {
+	keys := make([]string, 0, len(cl.cnode))
+	for k := range cl.cnode {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Value, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, cl.nodes[cl.cnode[k]].c)
+	}
+	return out
+}
+
+// bound finds the tightest constant bound of a class: upper when hi is
+// true, lower otherwise. It returns the bounding constant, whether the
+// bound is strict, and whether one exists.
+func (cl *Closure) bound(ui int, hi bool) (value.Value, bool, bool) {
+	var best value.Value
+	bestStrict, found := false, false
+	for _, c := range cl.constants() {
+		cIdx, ok := cl.lookup(C(c))
+		if !ok {
+			continue
+		}
+		var r rel
+		if hi {
+			r = cl.m[ui][cIdx]
+		} else {
+			r = cl.m[cIdx][ui]
+		}
+		if r == relNone {
+			continue
+		}
+		strict := r == relLt
+		if !found {
+			best, bestStrict, found = c, strict, true
+			continue
+		}
+		cmp := value.Compare(c, best)
+		if hi {
+			if cmp < 0 || (cmp == 0 && strict && !bestStrict) {
+				best, bestStrict = c, strict
+			}
+		} else {
+			if cmp > 0 || (cmp == 0 && strict && !bestStrict) {
+				best, bestStrict = c, strict
+			}
+		}
+	}
+	return best, bestStrict, found
+}
+
+// Satisfiable reports whether the conjunction has a model.
+func Satisfiable(c Conj) bool { return Close(c).Sat() }
+
+// Implies reports whether conjunction c entails atom a.
+func Implies(c Conj, a Atom) bool { return Close(c).Implies(a) }
+
+// ImpliesAll reports whether c entails every atom of d.
+func ImpliesAll(c, d Conj) bool { return Close(c).ImpliesAll(d) }
+
+// Equivalent reports whether two conjunctions entail each other.
+func Equivalent(c, d Conj) bool {
+	return Close(c).ImpliesAll(d) && Close(d).ImpliesAll(c)
+}
+
+// Residual implements the heart of conditions C3/C3': find Conds' such
+// that target is equivalent to given AND Conds', where Conds' mentions
+// only variables accepted by allowed. It returns the residual and
+// whether one exists. For equality-only conjunctions the construction is
+// complete (Theorem 3.1); in general it is sound.
+func Residual(target, given Conj, allowed func(Var) bool) (Conj, bool) {
+	tc := Close(target)
+	if !tc.Sat() {
+		// An unsatisfiable target is equivalent to anything unsatisfiable;
+		// the empty-result query can use any view. Use a trivially false
+		// residual over no variables.
+		falseAtom := Atom{Op: ir.OpLt, L: C(value.Int(0)), R: C(value.Int(0))}
+		return Conj{falseAtom}, true
+	}
+	// target must entail given, or the view discards needed tuples.
+	if !tc.ImpliesAll(given) {
+		return nil, false
+	}
+	// Candidate: the projection of target's closure onto allowed vars.
+	var candidate Conj
+	for _, a := range tc.Atoms() {
+		ok := true
+		for _, t := range []Term{a.L, a.R} {
+			if !t.IsConst && !allowed(t.V) {
+				ok = false
+			}
+		}
+		if ok {
+			candidate = append(candidate, a)
+		}
+	}
+	// Verify: given AND candidate must entail target.
+	combined := append(append(Conj{}, given...), candidate...)
+	if !ImpliesAll(combined, target) {
+		return nil, false
+	}
+	// Minimize: drop atoms that stay implied by given and the rest.
+	out := append(Conj{}, candidate...)
+	for i := 0; i < len(out); {
+		trial := append(Conj{}, given...)
+		trial = append(trial, out[:i]...)
+		trial = append(trial, out[i+1:]...)
+		if Close(trial).Implies(out[i]) {
+			out = append(out[:i], out[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return out, true
+}

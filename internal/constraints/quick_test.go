@@ -1,0 +1,129 @@
+package constraints
+
+// testing/quick properties over the constraint engine's algebraic laws.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// conjFromSeed derives a small conjunction deterministically from quick's
+// generated values.
+func conjFromSeed(seed uint64, nAtoms uint8) Conj {
+	s := seed*2654435761 + 97
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	ops := []ir.Op{ir.OpEq, ir.OpNeq, ir.OpLt, ir.OpLeq, ir.OpGt, ir.OpGeq}
+	n := int(nAtoms%6) + 1
+	c := make(Conj, 0, n)
+	for i := 0; i < n; i++ {
+		l := V(Var(next(4)))
+		var r Term
+		if next(3) == 0 {
+			r = C(value.Int(int64(next(4))))
+		} else {
+			r = V(Var(next(4)))
+		}
+		c = append(c, Atom{Op: ops[next(len(ops))], L: l, R: r})
+	}
+	return c
+}
+
+// Property: every atom of the original conjunction is implied by its
+// own closure (extensivity).
+func TestQuickClosureExtensive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		c := conjFromSeed(seed, n)
+		cl := Close(c)
+		for _, a := range c {
+			if !cl.Implies(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Implies is monotone — adding atoms never loses entailments.
+func TestQuickImpliesMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		c := conjFromSeed(seed, n)
+		probe := Atom{Op: ir.OpLeq, L: V(0), R: V(1)}
+		if !Implies(c, probe) {
+			return true // nothing to preserve
+		}
+		extended := append(append(Conj{}, c...), Atom{Op: ir.OpLeq, L: V(2), R: V(3)})
+		return Implies(extended, probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equivalent is reflexive and invariant under atom
+// permutation and duplication.
+func TestQuickEquivalentReflexiveStable(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		c := conjFromSeed(seed, n)
+		if !Equivalent(c, c) {
+			return false
+		}
+		shuffled := append(Conj{}, c...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			shuffled[i], shuffled[0] = shuffled[0], shuffled[i]
+		}
+		doubled := append(append(Conj{}, shuffled...), c...)
+		return Equivalent(c, doubled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closure is idempotent — closing the emitted atoms yields an
+// equivalent conjunction (for satisfiable inputs).
+func TestQuickClosureIdempotent(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		c := conjFromSeed(seed, n)
+		cl := Close(c)
+		if !cl.Sat() {
+			return true
+		}
+		atoms := cl.Atoms()
+		// c entails its closure atoms by soundness; the closure atoms
+		// must entail every var-to-var and var-to-const fact of c that
+		// the closure itself can state. Equivalence of c and atoms holds
+		// whenever c only mentions terms the closure re-emits.
+		return Close(atoms).Sat() && ImpliesAll(c, atoms)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an atom and its negation are never both implied by a
+// satisfiable conjunction.
+func TestQuickNoContradictoryEntailment(t *testing.T) {
+	f := func(seed uint64, n uint8, op uint8, l, r uint8) bool {
+		c := conjFromSeed(seed, n)
+		cl := Close(c)
+		if !cl.Sat() {
+			return true
+		}
+		probe := Atom{Op: ir.Op(op % 6), L: V(Var(l % 5)), R: V(Var(r % 5))}
+		return !(cl.Implies(probe) && cl.Implies(probe.Negate()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

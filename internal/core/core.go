@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aggview/internal/aggreason"
+	"aggview/internal/constraints"
+	"aggview/internal/ir"
+	"aggview/internal/keys"
+)
+
+// Options tunes the rewriter.
+type Options struct {
+	// PaperFaithful restricts the rewriter to the paper's original
+	// operations: no arithmetic inside aggregates. Multiplicity recovery
+	// then uses the auxiliary-view (Va) construction of steps S4'/S5',
+	// guarded so it is only emitted when provably correct (see DESIGN.md
+	// on the published construction's defect), and AVG rewrites that
+	// need SUM/COUNT division are rejected.
+	PaperFaithful bool
+	// NoSetSemantics disables the Section 5 relaxation (many-to-1
+	// mappings for set-valued queries and views) even when key metadata
+	// is available.
+	NoSetSemantics bool
+	// NoNormalize disables the Section 3.3 pre-processing that moves
+	// HAVING conditions into WHERE. It exists for ablation: usability
+	// detection weakens without it (experiment E10).
+	NoNormalize bool
+	// MaxRewritings caps the number of rewritings enumerated by
+	// Rewritings; 0 means the default of 128.
+	MaxRewritings int
+}
+
+// Rewriter rewrites queries to use materialized views.
+type Rewriter struct {
+	// Schema resolves base-table names (e.g. the catalog).
+	Schema ir.SchemaSource
+	// Views holds the materialized view definitions.
+	Views *ir.Registry
+	// Meta supplies key/FD metadata enabling the Section 5 relaxations;
+	// it may be nil.
+	Meta keys.MetaSource
+	// Opts tunes the rewriter.
+	Opts Options
+}
+
+// Rewriting is one rewriting of a query that uses materialized views
+// (Definition 2.2).
+type Rewriting struct {
+	// Query is the rewritten query; its FROM clause mentions at least
+	// one view.
+	Query *ir.Query
+	// Aux lists auxiliary view definitions referenced by Query (the
+	// paper's Va construction); they must be evaluated alongside it.
+	Aux []*ir.ViewDef
+	// Used lists the names of the views incorporated, in application
+	// order.
+	Used []string
+	// SetOnly marks rewritings obtained under the Section 5 set
+	// semantics: Query is multiset-equivalent to the original only
+	// because both results are guaranteed to be sets.
+	SetOnly bool
+	// Notes explains the usability conditions that were established.
+	Notes []string
+}
+
+// SQL renders the rewriting (auxiliary views first).
+func (r *Rewriting) SQL() string {
+	out := ""
+	for _, a := range r.Aux {
+		out += a.SQL() + ";\n"
+	}
+	return out + r.Query.SQL()
+}
+
+// meta returns the effective metadata source, layering view-derived keys
+// over the configured one.
+func (rw *Rewriter) meta() keys.MetaSource {
+	if rw.Meta == nil {
+		return nil
+	}
+	return keys.ViewMeta{Base: rw.Meta, Views: rw.Views}
+}
+
+// RewriteOnce returns every single-step rewriting of q that uses view v:
+// one per column mapping satisfying the usability conditions.
+func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
+	qn, vn := q, v.Def
+	if !rw.Opts.NoNormalize {
+		qn = aggreason.Normalize(q)
+		vn = aggreason.Normalize(v.Def)
+	}
+
+	vIsAgg := vn.IsAggregationQuery()
+	qIsAgg := qn.IsAggregationQuery()
+
+	var out []*Rewriting
+	seen := map[string]bool{}
+	add := func(r *Rewriting) {
+		if r == nil {
+			return
+		}
+		key := canonicalKey(r.Query)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, r)
+	}
+
+	// Section 4.5: a view with grouping or aggregation loses tuple
+	// multiplicities and cannot answer a conjunctive query under
+	// multiset semantics. Similarly a DISTINCT view is already a set.
+	multisetUsable := !vn.Distinct && (qIsAgg || !vIsAgg)
+
+	if multisetUsable {
+		for _, m := range enumerateMappings(vn, qn, false) {
+			a := newAnalyzer(rw, qn, vn, v, m, false)
+			add(a.run())
+		}
+	}
+
+	// Section 5: when both results are provably sets, many-to-1 mappings
+	// become admissible (conjunctive queries and views only, as in the
+	// paper).
+	if !rw.Opts.NoSetSemantics && rw.Meta != nil && !qIsAgg && !vIsAgg {
+		meta := rw.meta()
+		if keys.IsSetResult(qn, meta) && keys.IsSetResult(vn, meta) {
+			for _, m := range enumerateMappings(vn, qn, true) {
+				if m.oneToOne && multisetUsable {
+					continue // already tried under multiset semantics
+				}
+				a := newAnalyzer(rw, qn, vn, v, m, true)
+				add(a.run())
+			}
+		}
+	}
+	return out
+}
+
+// Rewritings enumerates the rewritings of q reachable by iteratively
+// incorporating registered views (Theorem 3.2: for conjunctive views
+// with equality predicates, iterative application in any order is sound,
+// Church-Rosser and complete). Results are deduplicated up to renaming
+// and FROM-clause order.
+func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
+	limit := rw.Opts.MaxRewritings
+	if limit <= 0 {
+		limit = 128
+	}
+	seen := map[string]bool{canonicalKey(q): true}
+	var results []*Rewriting
+	queue := []*Rewriting{{Query: q}}
+	for len(queue) > 0 && len(results) < limit {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, v := range rw.Views.All() {
+			for _, step := range rw.RewriteOnce(cur.Query, v) {
+				combined := &Rewriting{
+					Query:   step.Query,
+					Aux:     append(append([]*ir.ViewDef{}, cur.Aux...), step.Aux...),
+					Used:    append(append([]string{}, cur.Used...), v.Name),
+					SetOnly: cur.SetOnly || step.SetOnly,
+					Notes:   append(append([]string{}, cur.Notes...), step.Notes...),
+				}
+				key := canonicalKey(combined.Query)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				results = append(results, combined)
+				queue = append(queue, combined)
+				if len(results) >= limit {
+					return results
+				}
+			}
+		}
+	}
+	return results
+}
+
+// Best returns the cheapest rewriting according to the cost function
+// (smaller is better), or nil when no rewriting exists. The cost
+// function receives each candidate's query; a nil cost function ranks by
+// the number of base-table occurrences remaining.
+func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
+	if cost == nil {
+		cost = func(q *ir.Query) float64 {
+			n := 0.0
+			for _, t := range q.Tables {
+				if _, isView := rw.Views.Get(t.Source); !isView {
+					n++
+				}
+			}
+			return n
+		}
+	}
+	var best *Rewriting
+	bestCost := 0.0
+	for _, r := range rw.Rewritings(q) {
+		c := cost(r.Query)
+		if best == nil || c < bestCost {
+			best, bestCost = r, c
+		}
+	}
+	return best
+}
+
+// canonicalKey renders a query in a canonical form that is invariant
+// under FROM-clause reordering (and the column renumbering it induces),
+// so that rewritings reached by different view orders deduplicate
+// (the Church-Rosser property of Theorem 3.2).
+func canonicalKey(q *ir.Query) string {
+	perm := canonicalOrder(q)
+	reordered := reorderTables(q, perm)
+	// The WHERE clause is canonicalized through its deductive closure:
+	// logically equivalent conjunctions (e.g. equality chains written
+	// with different spanning trees) must produce the same key. SELECT
+	// and HAVING keep their order (SELECT order is semantically
+	// relevant).
+	cl := constraints.Close(aggreason.WhereConj(reordered))
+	name := func(t constraints.Term) string {
+		if t.IsConst {
+			return t.C.String()
+		}
+		return reordered.Col(ir.ColID(t.V)).Name
+	}
+	var preds []string
+	for _, at := range cl.Atoms() {
+		s := name(at.L) + " " + at.Op.String() + " " + name(at.R)
+		f := name(at.R) + " " + at.Op.Flip().String() + " " + name(at.L)
+		if f < s {
+			s = f
+		}
+		preds = append(preds, s)
+	}
+	if !cl.Sat() {
+		preds = []string{"FALSE"}
+	}
+	sort.Strings(preds)
+	groups := make([]string, len(reordered.GroupBy))
+	for i, g := range reordered.GroupBy {
+		groups[i] = reordered.Col(g).Name
+	}
+	sort.Strings(groups)
+	sel := make([]string, len(reordered.Select))
+	for i, it := range reordered.Select {
+		sel[i] = reordered.ExprSQLByName(it.Expr)
+	}
+	hav := make([]string, len(reordered.Having))
+	for i, h := range reordered.Having {
+		hav[i] = reordered.ExprSQLByName(h.L) + " " + h.Op.String() + " " + reordered.ExprSQLByName(h.R)
+	}
+	sort.Strings(hav)
+	srcs := make([]string, len(reordered.Tables))
+	for i, t := range reordered.Tables {
+		srcs[i] = t.Source
+	}
+	return fmt.Sprintf("D=%v S=%v F=%v W=%v G=%v H=%v",
+		reordered.Distinct, sel, srcs, preds, groups, hav)
+}
+
+// canonicalOrder picks a deterministic table permutation: sources in
+// lexicographic order, ties broken by each occurrence's original index
+// (occurrences of the same source are interchangeable only up to their
+// column roles, which the textual key then distinguishes; a rare
+// imperfect dedup produces a duplicate-but-equivalent rewriting, never a
+// lost one).
+func canonicalOrder(q *ir.Query) []int {
+	perm := make([]int, len(q.Tables))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		sa, sb := q.Tables[perm[a]].Source, q.Tables[perm[b]].Source
+		if sa != sb {
+			return sa < sb
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// reorderTables builds an equivalent query with tables permuted and
+// columns renumbered accordingly.
+func reorderTables(q *ir.Query, perm []int) *ir.Query {
+	n := &ir.Query{Distinct: q.Distinct}
+	oldToNew := make([]ir.ColID, q.NumCols())
+	for _, oldIdx := range perm {
+		t := q.Tables[oldIdx]
+		attrs := make([]string, len(t.Cols))
+		for pos, id := range t.Cols {
+			attrs[pos] = q.Col(id).Attr
+		}
+		newIdx := n.AddTable(t.Source, "", attrs)
+		for pos, id := range t.Cols {
+			oldToNew[id] = n.Tables[newIdx].Cols[pos]
+		}
+	}
+	remap := func(c ir.ColID) ir.ColID { return oldToNew[c] }
+	for _, it := range q.Select {
+		n.Select = append(n.Select, ir.SelectItem{Expr: ir.MapExprCols(it.Expr, remap), Alias: it.Alias})
+	}
+	for _, p := range q.Where {
+		n.Where = append(n.Where, ir.MapPredCols(p, remap))
+	}
+	for _, g := range q.GroupBy {
+		n.GroupBy = append(n.GroupBy, remap(g))
+	}
+	for _, h := range q.Having {
+		n.Having = append(n.Having, ir.HPred{Op: h.Op, L: ir.MapExprCols(h.L, remap), R: ir.MapExprCols(h.R, remap)})
+	}
+	return n
+}

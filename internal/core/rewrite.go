@@ -1,0 +1,610 @@
+package core
+
+import (
+	"fmt"
+
+	"aggview/internal/aggreason"
+	"aggview/internal/constraints"
+	"aggview/internal/ir"
+	"aggview/internal/keys"
+)
+
+// errNotUsable signals that a usability condition failed; the message
+// names the condition for explanations.
+type errNotUsable struct{ reason string }
+
+func (e *errNotUsable) Error() string { return e.reason }
+
+func fail(format string, args ...any) error {
+	return &errNotUsable{reason: fmt.Sprintf(format, args...)}
+}
+
+// aggItem is one aggregate select item of the view.
+type aggItem struct {
+	pos int
+	fn  ir.AggFunc
+	arg ir.ColID // view column aggregated upon
+}
+
+// analyzer checks the usability conditions for one (query, view,
+// mapping) triple and constructs the rewritten query.
+type analyzer struct {
+	rw      *Rewriter
+	q, v    *ir.Query // normalized query and view definition
+	viewDef *ir.ViewDef
+	m       mapping
+	setSem  bool
+
+	vIsAgg        bool
+	covered       map[ir.ColID]bool
+	coveredTables map[int]bool
+	clQ           *constraints.Closure
+	canonMap      []ir.ColID
+	pinned        map[ir.ColID]bool
+
+	barePos   map[ir.ColID]int // view col -> first bare select position
+	sigmaBare map[ir.ColID]int // q col (exact sigma image of a bare item) -> position
+	aggItems  []aggItem
+	countPos  int
+
+	// Construction state.
+	nq        *ir.Query
+	viewCols  []ir.ColID // nq cols of the view instance, by select position
+	oldToNew  []ir.ColID // q col -> nq col; -1 when unavailable
+	replCache map[ir.ColID]ir.ColID
+	aux       []*ir.ViewDef
+	notes     []string
+
+	vaCnt ir.ColID // Cnt_Va column in nq; -1 until built
+}
+
+func newAnalyzer(rw *Rewriter, q, v *ir.Query, viewDef *ir.ViewDef, m mapping, setSem bool) *analyzer {
+	return &analyzer{
+		rw: rw, q: q, v: v, viewDef: viewDef, m: m, setSem: setSem,
+		countPos: -1, vaCnt: -1,
+		replCache: map[ir.ColID]ir.ColID{},
+	}
+}
+
+// run performs the full analysis; it returns nil when any usability
+// condition fails.
+func (a *analyzer) run() *Rewriting {
+	r, err := a.analyze()
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+func (a *analyzer) analyze() (*Rewriting, error) {
+	a.vIsAgg = a.v.IsAggregationQuery()
+	a.covered = map[ir.ColID]bool{}
+	for vc := range a.m.colMap {
+		a.covered[a.m.sigma(ir.ColID(vc))] = true
+	}
+	a.coveredTables = a.m.coveredTables()
+
+	a.clQ = constraints.Close(aggreason.WhereConj(a.q))
+	a.buildCanon()
+	a.classifyView()
+
+	if err := a.residualStep(); err != nil {
+		return nil, err
+	}
+	if err := a.groupByStep(); err != nil {
+		return nil, err
+	}
+	if err := a.selectStep(); err != nil {
+		return nil, err
+	}
+	if err := a.havingStep(); err != nil {
+		return nil, err
+	}
+
+	a.nq.Distinct = a.q.Distinct
+	setOnly := false
+	if a.setSem {
+		setOnly = true
+		a.addSameImageEqualities()
+		meta := a.rw.meta()
+		// Many-to-1 mappings are justified by key reasoning, not by
+		// set-ness alone (the chase in Example 5.1 relies on A being a
+		// key). Verify the candidate by unfolding and checking mutual
+		// containment under the dependencies.
+		if !setEquivalent(a.q, a.nq, a.rw.Views, meta) {
+			return nil, fail("set-semantics candidate failed the containment verification")
+		}
+		// Multiset equivalence needs the rewriting to also be a set. If
+		// that cannot be established from keys, force DISTINCT: since the
+		// original is a set, deduplicating a set-equivalent query yields
+		// the same multiset.
+		if meta == nil || !keys.IsSetResult(a.nq, a.auxAwareMeta(meta)) {
+			a.nq.Distinct = true
+			a.note("added DISTINCT to restore set-ness of the rewriting")
+		}
+	}
+	return &Rewriting{Query: a.nq, Aux: a.aux, Used: []string{a.viewDef.Name}, SetOnly: setOnly, Notes: a.notes}, nil
+}
+
+// addSameImageEqualities adds, for a many-to-1 mapping, equality
+// predicates between exposed view outputs whose sigma images coincide
+// under Conds(Q) — the paper's "minor modifications to handle repeated
+// column names" in Section 5.2. Without them the view's rows are not
+// constrained to collapse onto single query rows (Example 5.1's
+// A1 = A4 predicate).
+func (a *analyzer) addSameImageEqualities() {
+	type exposed struct {
+		pos int
+		img ir.ColID
+	}
+	var items []exposed
+	for pos, it := range a.v.Select {
+		if c, ok := it.Expr.(*ir.ColRef); ok {
+			items = append(items, exposed{pos: pos, img: a.m.sigma(c.Col)})
+		}
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if items[i].pos != items[j].pos && a.equalCols(items[i].img, items[j].img) {
+				a.nq.Where = append(a.nq.Where, ir.Pred{
+					Op: ir.OpEq,
+					L:  ir.ColTerm(a.viewCols[items[i].pos]),
+					R:  ir.ColTerm(a.viewCols[items[j].pos]),
+				})
+			}
+		}
+	}
+}
+
+// auxAwareMeta extends the metadata with this rewriting's auxiliary
+// views so set-ness checks can see them.
+func (a *analyzer) auxAwareMeta(meta keys.MetaSource) keys.MetaSource {
+	if len(a.aux) == 0 {
+		return meta
+	}
+	reg := ir.NewRegistry()
+	for _, v := range a.aux {
+		_ = reg.Add(v)
+	}
+	return keys.ViewMeta{Base: meta, Views: reg}
+}
+
+func (a *analyzer) note(format string, args ...any) {
+	a.notes = append(a.notes, fmt.Sprintf(format, args...))
+}
+
+// buildCanon computes, for each query column, the smallest column it is
+// provably equal to under Conds(Q), plus the set of pinned columns.
+func (a *analyzer) buildCanon() {
+	n := a.q.NumCols()
+	a.canonMap = make([]ir.ColID, n)
+	a.pinned = map[ir.ColID]bool{}
+	for c := 0; c < n; c++ {
+		a.canonMap[c] = ir.ColID(c)
+		for d := 0; d < c; d++ {
+			if a.clQ.Implies(constraints.Atom{
+				Op: ir.OpEq,
+				L:  constraints.V(constraints.Var(c)),
+				R:  constraints.V(constraints.Var(d)),
+			}) {
+				a.canonMap[c] = ir.ColID(d)
+				break
+			}
+		}
+	}
+	for _, at := range a.clQ.Atoms() {
+		if at.Op == ir.OpEq && !at.L.IsConst && at.R.IsConst {
+			a.pinned[ir.ColID(at.L.V)] = true
+		}
+	}
+}
+
+func (a *analyzer) canon(c ir.ColID) ir.ColID { return a.canonMap[c] }
+
+// equalCols reports whether two query columns are provably equal under
+// Conds(Q).
+func (a *analyzer) equalCols(x, y ir.ColID) bool { return a.canonMap[x] == a.canonMap[y] }
+
+// classifyView indexes the view's SELECT items: bare columns, aggregate
+// items, and a COUNT column if any.
+func (a *analyzer) classifyView() {
+	a.barePos = map[ir.ColID]int{}
+	a.sigmaBare = map[ir.ColID]int{}
+	for pos, it := range a.v.Select {
+		switch x := it.Expr.(type) {
+		case *ir.ColRef:
+			if _, ok := a.barePos[x.Col]; !ok {
+				a.barePos[x.Col] = pos
+			}
+			qc := a.m.sigma(x.Col)
+			if _, ok := a.sigmaBare[qc]; !ok {
+				a.sigmaBare[qc] = pos
+			}
+		case *ir.Agg:
+			if c, ok := x.Arg.(*ir.ColRef); ok && !x.Star {
+				a.aggItems = append(a.aggItems, aggItem{pos: pos, fn: x.Func, arg: c.Col})
+				if x.Func == ir.AggCount && a.countPos < 0 {
+					a.countPos = pos
+				}
+			}
+		}
+	}
+}
+
+// residualStep checks condition C3/C3' and starts building the
+// rewritten query: the view instance replaces the covered tables (steps
+// S1/S1'), and the WHERE clause becomes the residual Conds' (S3/S3').
+func (a *analyzer) residualStep() error {
+	condsQ := aggreason.WhereConj(a.q)
+	var condsV constraints.Conj
+	for _, p := range a.v.Where {
+		mapped := ir.MapPredCols(p, func(c ir.ColID) ir.ColID { return a.m.sigma(c) })
+		condsV = append(condsV, constraints.Atom{Op: mapped.Op, L: whereTerm(mapped.L), R: whereTerm(mapped.R)})
+	}
+	// Allowed residual columns: those of tables outside the mapping's
+	// image, plus exact sigma-images of the view's exposed bare columns
+	// (Sel(V) for conjunctive views, ColSel(V) for aggregation views,
+	// which is what the bare items are in both cases).
+	allowed := func(v constraints.Var) bool {
+		c := ir.ColID(v)
+		if !a.covered[c] {
+			return true
+		}
+		_, ok := a.sigmaBare[c]
+		return ok
+	}
+	res, ok := constraints.Residual(condsQ, condsV, allowed)
+	if !ok {
+		return fail("condition C3: no residual Conds' over the available columns")
+	}
+
+	// Step S1/S1': build the new query's FROM clause.
+	a.nq = &ir.Query{}
+	vt := a.nq.AddTable(a.viewDef.Name, "", a.viewDef.OutCols)
+	a.viewCols = append([]ir.ColID{}, a.nq.Tables[vt].Cols...)
+	a.oldToNew = make([]ir.ColID, a.q.NumCols())
+	for i := range a.oldToNew {
+		a.oldToNew[i] = -1
+	}
+	for ti, t := range a.q.Tables {
+		if a.coveredTables[ti] {
+			continue
+		}
+		attrs := make([]string, len(t.Cols))
+		for pos, id := range t.Cols {
+			attrs[pos] = a.q.Col(id).Attr
+		}
+		nt := a.nq.AddTable(t.Source, t.Alias, attrs)
+		for pos, id := range t.Cols {
+			a.oldToNew[id] = a.nq.Tables[nt].Cols[pos]
+		}
+	}
+
+	// Step S3: install the residual as the new WHERE clause.
+	for _, at := range res {
+		l, err := a.residualTerm(at.L)
+		if err != nil {
+			return err
+		}
+		r, err := a.residualTerm(at.R)
+		if err != nil {
+			return err
+		}
+		a.nq.Where = append(a.nq.Where, ir.Pred{Op: at.Op, L: l, R: r})
+	}
+	a.note("condition C3: Conds' = %s", a.renderConj(res))
+	return nil
+}
+
+// renderConj renders a constraint conjunction over the original query's
+// column names, for explanations.
+func (a *analyzer) renderConj(c constraints.Conj) string {
+	if len(c) == 0 {
+		return "TRUE"
+	}
+	term := func(t constraints.Term) string {
+		if t.IsConst {
+			return t.C.String()
+		}
+		v := int(t.V)
+		if v >= 0 && v < a.q.NumCols() {
+			return a.q.Col(ir.ColID(v)).Name
+		}
+		return t.String()
+	}
+	out := ""
+	for i, at := range c {
+		if i > 0 {
+			out += " AND "
+		}
+		out += term(at.L) + " " + at.Op.String() + " " + term(at.R)
+	}
+	return out
+}
+
+func whereTerm(t ir.Term) constraints.Term {
+	if t.IsConst {
+		return constraints.C(t.Val)
+	}
+	return constraints.V(constraints.Var(t.Col))
+}
+
+func (a *analyzer) residualTerm(t constraints.Term) (ir.Term, error) {
+	if t.IsConst {
+		return ir.ConstTerm(t.C), nil
+	}
+	c := ir.ColID(t.V)
+	if !a.covered[c] {
+		return ir.ColTerm(a.oldToNew[c]), nil
+	}
+	pos, ok := a.sigmaBare[c]
+	if !ok {
+		return ir.Term{}, fail("internal: residual mentions unavailable column %s", a.q.Col(c).Name)
+	}
+	return ir.ColTerm(a.viewCols[pos]), nil
+}
+
+// replacement finds the view output standing for a covered query column
+// (condition C2/C2'): a bare select item B with Conds(Q) implying
+// A = sigma(B). It returns the nq column of that output.
+func (a *analyzer) replacement(c ir.ColID) (ir.ColID, error) {
+	if nc, ok := a.replCache[c]; ok {
+		if nc < 0 {
+			return 0, fail("condition C2: no view output equals column %s", a.q.Col(c).Name)
+		}
+		return nc, nil
+	}
+	if pos, ok := a.sigmaBare[c]; ok {
+		a.replCache[c] = a.viewCols[pos]
+		return a.viewCols[pos], nil
+	}
+	for vc, pos := range a.barePos {
+		if a.equalCols(a.m.sigma(vc), c) {
+			a.replCache[c] = a.viewCols[pos]
+			return a.viewCols[pos], nil
+		}
+	}
+	a.replCache[c] = -1
+	return 0, fail("condition C2: no view output equals column %s", a.q.Col(c).Name)
+}
+
+// mapCol maps a query column into the rewritten query: uncovered columns
+// keep their table's copy, covered ones need a C2 replacement.
+func (a *analyzer) mapCol(c ir.ColID) (ir.ColID, error) {
+	if !a.covered[c] {
+		return a.oldToNew[c], nil
+	}
+	return a.replacement(c)
+}
+
+// groupByStep applies step S2/S2' to the GROUP BY list.
+func (a *analyzer) groupByStep() error {
+	for _, g := range a.q.GroupBy {
+		nc, err := a.mapCol(g)
+		if err != nil {
+			return err
+		}
+		a.nq.GroupBy = append(a.nq.GroupBy, nc)
+	}
+	return nil
+}
+
+// selectStep applies steps S2/S4/S5 (and their primed versions) to the
+// SELECT list.
+func (a *analyzer) selectStep() error {
+	for _, it := range a.q.Select {
+		e, err := a.rewriteExpr(it.Expr)
+		if err != nil {
+			return err
+		}
+		a.nq.Select = append(a.nq.Select, ir.SelectItem{Expr: e, Alias: it.Alias})
+	}
+	return nil
+}
+
+// rewriteExpr rewrites a SELECT or HAVING expression into the new query.
+func (a *analyzer) rewriteExpr(e ir.Expr) (ir.Expr, error) {
+	switch x := e.(type) {
+	case *ir.ColRef:
+		nc, err := a.mapCol(x.Col)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ColRef{Col: nc}, nil
+	case *ir.Const:
+		return &ir.Const{Val: x.Val}, nil
+	case *ir.Arith:
+		l, err := a.rewriteExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.rewriteExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Arith{Op: x.Op, L: l, R: r}, nil
+	case *ir.Agg:
+		return a.rewriteAgg(x)
+	default:
+		return nil, fail("unsupported expression %T", e)
+	}
+}
+
+// rewriteAgg implements conditions C4/C4' and steps S4/S4'/S5'.
+func (a *analyzer) rewriteAgg(agg *ir.Agg) (ir.Expr, error) {
+	if !a.vIsAgg {
+		return a.rewriteAggConjView(agg)
+	}
+	return a.rewriteAggAggView(agg)
+}
+
+// rewriteAggConjView handles a conjunctive view: multiplicities are
+// preserved, so aggregates only need their argument columns re-routed
+// (condition C4, steps S2/S4).
+func (a *analyzer) rewriteAggConjView(agg *ir.Agg) (ir.Expr, error) {
+	newArg, err := a.rewriteExpr(agg.Arg)
+	if err != nil {
+		if agg.Func == ir.AggCount {
+			// Step S4: COUNT only needs multiplicities; count any view
+			// output instead (condition C4 part 2: Sel(V) non-empty).
+			if len(a.viewCols) > 0 {
+				a.note("step S4: COUNT argument replaced by a view output")
+				return &ir.Agg{Func: ir.AggCount, Arg: &ir.ColRef{Col: a.viewCols[0]}}, nil
+			}
+		}
+		return nil, err
+	}
+	return &ir.Agg{Func: agg.Func, Arg: newArg}, nil
+}
+
+// rewriteAggAggView handles an aggregation view (condition C4', steps
+// S4'/S5'), using scaled aggregates by default and the guarded Va
+// construction in paper-faithful mode.
+func (a *analyzer) rewriteAggAggView(agg *ir.Agg) (ir.Expr, error) {
+	coveredCols := false
+	bare := ir.ColID(-1)
+	isSingleCol := false
+	if c, ok := agg.Arg.(*ir.ColRef); ok {
+		isSingleCol = true
+		bare = c.Col
+	}
+	ir.WalkExprCols(agg.Arg, func(c ir.ColID) {
+		if a.covered[c] {
+			coveredCols = true
+		}
+	})
+
+	if !coveredCols {
+		// Case C4' part 2: the argument comes entirely from tables the
+		// view does not cover; only the lost multiplicities matter.
+		newArg, err := a.rewriteExpr(agg.Arg)
+		if err != nil {
+			return nil, err
+		}
+		switch agg.Func {
+		case ir.AggMin, ir.AggMax:
+			return &ir.Agg{Func: agg.Func, Arg: newArg}, nil
+		case ir.AggCount:
+			return a.countAsSum()
+		case ir.AggSum:
+			return a.scaledSum(newArg)
+		case ir.AggAvg:
+			return a.avgFromSumCount(func() (ir.Expr, error) { return a.scaledSum(newArg) })
+		}
+		return nil, fail("unknown aggregate %v", agg.Func)
+	}
+
+	if !isSingleCol {
+		return nil, fail("condition C4': aggregate over an expression mixing view-covered columns")
+	}
+
+	// Case C4' part 1: AGG(A) with A covered by the view.
+	switch agg.Func {
+	case ir.AggMin, ir.AggMax:
+		if pos, ok := a.findAggItem(agg.Func, bare); ok {
+			return &ir.Agg{Func: agg.Func, Arg: &ir.ColRef{Col: a.viewCols[pos]}}, nil
+		}
+		nc, err := a.replacement(bare)
+		if err != nil {
+			return nil, fail("condition C4': no %s(%s) or bare column in the view", agg.Func, a.q.Col(bare).Name)
+		}
+		return &ir.Agg{Func: agg.Func, Arg: &ir.ColRef{Col: nc}}, nil
+	case ir.AggCount:
+		return a.countAsSum()
+	case ir.AggSum:
+		return a.sumOfCovered(bare)
+	case ir.AggAvg:
+		return a.avgFromSumCount(func() (ir.Expr, error) { return a.sumOfCovered(bare) })
+	}
+	return nil, fail("unknown aggregate %v", agg.Func)
+}
+
+// findAggItem finds a view aggregate item AGG(B) with sigma(B) provably
+// equal to the query column c.
+func (a *analyzer) findAggItem(fn ir.AggFunc, c ir.ColID) (int, bool) {
+	for _, it := range a.aggItems {
+		if it.fn == fn && a.equalCols(a.m.sigma(it.arg), c) {
+			return it.pos, true
+		}
+	}
+	return 0, false
+}
+
+// cntCol returns the nq column of the view's COUNT output (condition
+// C4' parts 1(b) and 2).
+func (a *analyzer) cntCol() (ir.ColID, error) {
+	if a.countPos < 0 {
+		return 0, fail("condition C4': the view exposes no COUNT column to recover multiplicities")
+	}
+	return a.viewCols[a.countPos], nil
+}
+
+// countAsSum rewrites COUNT(...) as SUM of the view's COUNT column
+// (step S4' part 2 / S5').
+func (a *analyzer) countAsSum() (ir.Expr, error) {
+	cnt, err := a.cntCol()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Agg{Func: ir.AggSum, Arg: &ir.ColRef{Col: cnt}}, nil
+}
+
+// scaledSum computes SUM(arg) when arg comes from uncovered tables:
+// SUM(arg * N) by default, or Cnt_Va * SUM(arg) in paper-faithful mode
+// (step S5', guarded).
+func (a *analyzer) scaledSum(newArg ir.Expr) (ir.Expr, error) {
+	cnt, err := a.cntCol()
+	if err != nil {
+		return nil, err
+	}
+	if a.rw.Opts.PaperFaithful {
+		return a.vaMultiply(&ir.Agg{Func: ir.AggSum, Arg: newArg})
+	}
+	return &ir.Agg{Func: ir.AggSum, Arg: &ir.Arith{Op: ir.ArithMul, L: newArg, R: &ir.ColRef{Col: cnt}}}, nil
+}
+
+// sumOfCovered computes SUM(A) for a covered column A (step S4' part 1).
+func (a *analyzer) sumOfCovered(c ir.ColID) (ir.Expr, error) {
+	if pos, ok := a.findAggItem(ir.AggSum, c); ok {
+		// Coalescing subgroups: SUM of the view's partial sums.
+		return &ir.Agg{Func: ir.AggSum, Arg: &ir.ColRef{Col: a.viewCols[pos]}}, nil
+	}
+	if nc, err := a.replacement(c); err == nil {
+		// Bare column exposed: each view row stands for N rows with that
+		// value (condition C4' part 1(b) requires the COUNT column).
+		cnt, err := a.cntCol()
+		if err != nil {
+			return nil, err
+		}
+		if a.rw.Opts.PaperFaithful {
+			return a.vaMultiply(&ir.Agg{Func: ir.AggSum, Arg: &ir.ColRef{Col: nc}})
+		}
+		return &ir.Agg{Func: ir.AggSum, Arg: &ir.Arith{Op: ir.ArithMul, L: &ir.ColRef{Col: nc}, R: &ir.ColRef{Col: cnt}}}, nil
+	}
+	if pos, ok := a.findAggItem(ir.AggAvg, c); ok && !a.rw.Opts.PaperFaithful {
+		// Section 4.4: SUM = AVG x COUNT, per view row.
+		cnt, err := a.cntCol()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Agg{Func: ir.AggSum, Arg: &ir.Arith{Op: ir.ArithMul, L: &ir.ColRef{Col: a.viewCols[pos]}, R: &ir.ColRef{Col: cnt}}}, nil
+	}
+	return nil, fail("condition C4': view cannot provide SUM(%s)", a.q.Col(c).Name)
+}
+
+// avgFromSumCount reconstructs AVG as SUM/COUNT (Section 4.4); it is not
+// available in paper-faithful mode (no division).
+func (a *analyzer) avgFromSumCount(sum func() (ir.Expr, error)) (ir.Expr, error) {
+	if a.rw.Opts.PaperFaithful {
+		return nil, fail("AVG reconstruction needs division, unavailable in paper-faithful mode")
+	}
+	s, err := sum()
+	if err != nil {
+		return nil, err
+	}
+	cntExpr, err := a.countAsSum()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Arith{Op: ir.ArithDiv, L: s, R: cntExpr}, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"aggview/internal/ir"
+	"aggview/internal/keys"
+	"aggview/internal/schema"
+)
+
+func keyedMeta(t *testing.T) keys.MetaSource {
+	t.Helper()
+	c := schema.NewCatalog()
+	if err := c.AddTable(&schema.Table{
+		Name:    "R1",
+		Columns: []string{"A", "B", "C", "D"},
+		Keys:    [][]string{{"A"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(&schema.Table{
+		Name:    "R2",
+		Columns: []string{"E", "F"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return keys.CatalogMeta{Catalog: c}
+}
+
+func bq(t *testing.T, sql string) *ir.Query {
+	t.Helper()
+	return ir.MustBuild(sql, tables())
+}
+
+func TestChaseMergesKeyEqualOccurrences(t *testing.T) {
+	meta := keyedMeta(t)
+	// Self join on the key: the chase must equate all columns of the two
+	// occurrences.
+	q := bq(t, "SELECT r.B FROM R1 r, R1 s WHERE r.A = s.A")
+	chased := chase(q, meta)
+	if len(chased.Where) <= len(q.Where) {
+		t.Fatalf("chase should add equalities: %s", chased.SQL())
+	}
+	// After chasing, r.B = s.B must be derivable.
+	found := false
+	for _, p := range chased.Where {
+		if p.Op == ir.OpEq && !p.L.IsConst && !p.R.IsConst {
+			if chased.Col(p.L.Col).Attr == "B" && chased.Col(p.R.Col).Attr == "B" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("chase missing B equality: %s", chased.SQL())
+	}
+}
+
+func TestChaseWithoutKeysIsIdentity(t *testing.T) {
+	c := schema.NewCatalog()
+	if err := c.AddTable(&schema.Table{Name: "R1", Columns: []string{"A", "B", "C", "D"}}); err != nil {
+		t.Fatal(err)
+	}
+	meta := keys.CatalogMeta{Catalog: c}
+	q := bq(t, "SELECT r.B FROM R1 r, R1 s WHERE r.A = s.A")
+	chased := chase(q, meta)
+	if len(chased.Where) != len(q.Where) {
+		t.Fatalf("keyless chase must not invent equalities: %s", chased.SQL())
+	}
+}
+
+func TestContainment(t *testing.T) {
+	// q1: A with B=C. q2: A (no condition). q1 subseteq q2 but not
+	// conversely.
+	q1 := bq(t, "SELECT A FROM R1 WHERE B = C")
+	q2 := bq(t, "SELECT A FROM R1")
+	if !containedIn(q1, q2) {
+		t.Error("restricting conditions should preserve containment")
+	}
+	if containedIn(q2, q1) {
+		t.Error("q2 is not contained in q1")
+	}
+	// Different select columns: no containment either way.
+	q3 := bq(t, "SELECT B FROM R1")
+	if containedIn(q2, q3) || containedIn(q3, q2) {
+		t.Error("different outputs cannot be contained")
+	}
+	// Arity mismatch.
+	q4 := bq(t, "SELECT A, B FROM R1")
+	if containedIn(q2, q4) {
+		t.Error("arity mismatch")
+	}
+}
+
+func TestContainmentWithConstants(t *testing.T) {
+	q1 := bq(t, "SELECT A FROM R1 WHERE B = 5")
+	q2 := bq(t, "SELECT A FROM R1 WHERE B > 3")
+	if !containedIn(q1, q2) {
+		t.Error("B=5 implies B>3")
+	}
+	if containedIn(q2, q1) {
+		t.Error("B>3 does not imply B=5")
+	}
+	// Constant outputs.
+	q5 := bq(t, "SELECT 1 FROM R1")
+	q6 := bq(t, "SELECT 1 FROM R1")
+	if !containedIn(q5, q6) {
+		t.Error("identical constant outputs")
+	}
+	q7 := bq(t, "SELECT 2 FROM R1")
+	if containedIn(q5, q7) {
+		t.Error("different constants")
+	}
+	// Column pinned to a constant matches a constant output.
+	q8 := bq(t, "SELECT B FROM R1 WHERE B = 1")
+	if !containedIn(q8, q6) {
+		t.Error("pinned column should match the constant output")
+	}
+}
+
+func TestUnfoldBindsViewOutputs(t *testing.T) {
+	reg := ir.NewRegistry()
+	def := bq(t, "SELECT A, D FROM R1 WHERE B = C")
+	v, err := ir.NewViewDef("W", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	full := ir.MultiSource{tables(), reg}
+	q := ir.MustBuild("SELECT A FROM W WHERE D = 2", full)
+	u, ok := unfold(q, reg)
+	if !ok {
+		t.Fatal("unfold failed")
+	}
+	if len(u.Tables) != 1 || u.Tables[0].Source != "R1" {
+		t.Fatalf("unfold should reach base tables: %s", u.SQL())
+	}
+	if len(u.Where) != 2 {
+		t.Fatalf("both conditions must survive: %s", u.SQL())
+	}
+}
+
+func TestUnfoldRejectsAggViews(t *testing.T) {
+	reg := ir.NewRegistry()
+	def := bq(t, "SELECT A, SUM(B) FROM R1 GROUP BY A")
+	v, err := ir.NewViewDef("W", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	full := ir.MultiSource{tables(), reg}
+	q := ir.MustBuild("SELECT A FROM W", full)
+	if _, ok := unfold(q, reg); ok {
+		t.Fatal("aggregation views cannot unfold")
+	}
+}
+
+func TestSetEquivalentExample51(t *testing.T) {
+	meta := keyedMeta(t)
+	reg := ir.NewRegistry()
+	def := bq(t, "SELECT r.A, s.A FROM R1 r, R1 s WHERE r.B = s.C")
+	v, err := ir.NewViewDef("V51", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	full := ir.MultiSource{tables(), reg}
+	q := bq(t, "SELECT A FROM R1 WHERE B = C")
+	qp := ir.MustBuild("SELECT t0.A FROM V51 t0 WHERE t0.A = t0.A_2", full)
+	if !setEquivalent(q, qp, reg, meta) {
+		t.Error("Example 5.1 equivalence should verify with the key")
+	}
+	// Without the key it must NOT verify.
+	c := schema.NewCatalog()
+	_ = c.AddTable(&schema.Table{Name: "R1", Columns: []string{"A", "B", "C", "D"}})
+	if setEquivalent(q, qp, reg, keys.CatalogMeta{Catalog: c}) {
+		t.Error("without keys the candidate is not equivalent")
+	}
+	// A candidate missing the A = A_2 predicate must be rejected even
+	// with keys.
+	qbad := ir.MustBuild("SELECT t0.A FROM V51 t0", full)
+	if setEquivalent(q, qbad, reg, meta) {
+		t.Error("dropping the collapse predicate must fail verification")
+	}
+}

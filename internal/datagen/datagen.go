@@ -1,0 +1,213 @@
+// Package datagen generates the synthetic workloads used by the
+// examples, tests and the benchmark harness: the telco data warehouse of
+// Example 1.1 (with Zipf-skewed calling plans), the R1/R2 micro-schema
+// of the paper's Section 3-4 examples, and an append-only transaction
+// chronicle in the spirit of [JMS95].
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggview/internal/engine"
+	"aggview/internal/schema"
+	"aggview/internal/value"
+)
+
+// TelcoConfig sizes the telephony warehouse.
+type TelcoConfig struct {
+	Plans     int
+	Customers int
+	Calls     int
+	Years     []int // years to spread calls over; default {1994, 1995, 1996}
+	ZipfS     float64
+	Seed      int64
+}
+
+// withDefaults fills zero fields.
+func (c TelcoConfig) withDefaults() TelcoConfig {
+	if c.Plans == 0 {
+		c.Plans = 10
+	}
+	if c.Customers == 0 {
+		c.Customers = 100
+	}
+	if c.Calls == 0 {
+		c.Calls = 10000
+	}
+	if len(c.Years) == 0 {
+		c.Years = []int{1994, 1995, 1996}
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// TelcoCatalog returns the schema of Example 1.1, with the paper's keys.
+func TelcoCatalog() *schema.Catalog {
+	c := schema.NewCatalog()
+	mustAdd(c, &schema.Table{
+		Name:    "Customer",
+		Columns: []string{"Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"},
+		Keys:    [][]string{{"Cust_Id"}},
+	})
+	mustAdd(c, &schema.Table{
+		Name:    "Calling_Plans",
+		Columns: []string{"Plan_Id", "Plan_Name"},
+		Keys:    [][]string{{"Plan_Id"}},
+	})
+	mustAdd(c, &schema.Table{
+		Name:    "Calls",
+		Columns: []string{"Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge"},
+		Keys:    [][]string{{"Call_Id"}},
+	})
+	return c
+}
+
+func mustAdd(c *schema.Catalog, t *schema.Table) {
+	if err := c.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Telco populates the warehouse: Customer, Calling_Plans and Calls, with
+// calls assigned to plans under a Zipf distribution (a few plans carry
+// most of the traffic, as in a real tariff portfolio).
+func Telco(cfg TelcoConfig) *engine.DB {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.NewDB()
+
+	plans := engine.NewRelation("Plan_Id", "Plan_Name")
+	for p := 0; p < cfg.Plans; p++ {
+		plans.Add(value.Int(int64(p)), value.Str(fmt.Sprintf("plan_%02d", p)))
+	}
+	db.Put("Calling_Plans", plans)
+
+	cust := engine.NewRelation("Cust_Id", "Cust_Name", "Area_Code", "Phone_Number")
+	for c := 0; c < cfg.Customers; c++ {
+		cust.Add(value.Int(int64(c)), value.Str(fmt.Sprintf("cust_%04d", c)),
+			value.Int(int64(200+rng.Intn(800))), value.Int(int64(1000000+rng.Intn(8999999))))
+	}
+	db.Put("Customer", cust)
+
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Plans-1))
+	calls := engine.NewRelation("Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge")
+	for i := 0; i < cfg.Calls; i++ {
+		calls.Add(
+			value.Int(int64(i)),
+			value.Int(int64(rng.Intn(cfg.Customers))),
+			value.Int(int64(zipf.Uint64())),
+			value.Int(int64(1+rng.Intn(28))),
+			value.Int(int64(1+rng.Intn(12))),
+			value.Int(int64(cfg.Years[rng.Intn(len(cfg.Years))])),
+			value.Int(int64(1+rng.Intn(2000))), // cents
+		)
+	}
+	db.Put("Calls", calls)
+	return db
+}
+
+// R1R2Config sizes the micro-schema databases used by the Section 3-4
+// example reproductions.
+type R1R2Config struct {
+	R1Rows, R2Rows int
+	Domain         int // value domain size; small domains force collisions
+	DupRate        int // one extra duplicate per DupRate rows (0: none)
+	Seed           int64
+}
+
+// R1R2Catalog returns the R1(A,B,C,D), R2(E,F) schema, optionally keyed
+// on the first columns.
+func R1R2Catalog(keyed bool) *schema.Catalog {
+	c := schema.NewCatalog()
+	r1 := &schema.Table{Name: "R1", Columns: []string{"A", "B", "C", "D"}}
+	r2 := &schema.Table{Name: "R2", Columns: []string{"E", "F"}}
+	if keyed {
+		r1.Keys = [][]string{{"A"}}
+		r2.Keys = [][]string{{"E"}}
+	}
+	mustAdd(c, r1)
+	mustAdd(c, r2)
+	return c
+}
+
+// R1R2 fills the micro-schema with uniform random small values.
+func R1R2(cfg R1R2Config) *engine.DB {
+	if cfg.Domain == 0 {
+		cfg.Domain = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.NewDB()
+	r1 := engine.NewRelation("A", "B", "C", "D")
+	for i := 0; i < cfg.R1Rows; i++ {
+		row := []value.Value{
+			value.Int(int64(rng.Intn(cfg.Domain))),
+			value.Int(int64(rng.Intn(cfg.Domain))),
+			value.Int(int64(rng.Intn(cfg.Domain))),
+			value.Int(int64(rng.Intn(cfg.Domain))),
+		}
+		r1.Add(row...)
+		if cfg.DupRate > 0 && rng.Intn(cfg.DupRate) == 0 {
+			r1.Add(row...)
+		}
+	}
+	db.Put("R1", r1)
+	r2 := engine.NewRelation("E", "F")
+	for i := 0; i < cfg.R2Rows; i++ {
+		r2.Add(value.Int(int64(rng.Intn(cfg.Domain))), value.Int(int64(rng.Intn(cfg.Domain))))
+	}
+	db.Put("R2", r2)
+	return db
+}
+
+// ChronicleConfig sizes the transaction-recording scenario: an
+// append-only ledger of account transactions, summarized per account and
+// per (account, day) — the chronicle model of [JMS95].
+type ChronicleConfig struct {
+	Accounts int
+	Txns     int
+	Days     int
+	Seed     int64
+}
+
+// ChronicleCatalog returns the ledger schema.
+func ChronicleCatalog() *schema.Catalog {
+	c := schema.NewCatalog()
+	mustAdd(c, &schema.Table{
+		Name:    "Txns",
+		Columns: []string{"Txn_Id", "Acct_Id", "Day", "Amount"},
+		Keys:    [][]string{{"Txn_Id"}},
+	})
+	mustAdd(c, &schema.Table{
+		Name:    "Accounts",
+		Columns: []string{"Acct_Id", "Branch"},
+		Keys:    [][]string{{"Acct_Id"}},
+	})
+	return c
+}
+
+// Chronicle populates the ledger.
+func Chronicle(cfg ChronicleConfig) *engine.DB {
+	if cfg.Accounts == 0 {
+		cfg.Accounts = 50
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.NewDB()
+	accts := engine.NewRelation("Acct_Id", "Branch")
+	for a := 0; a < cfg.Accounts; a++ {
+		accts.Add(value.Int(int64(a)), value.Int(int64(a%7)))
+	}
+	db.Put("Accounts", accts)
+	txns := engine.NewRelation("Txn_Id", "Acct_Id", "Day", "Amount")
+	for i := 0; i < cfg.Txns; i++ {
+		txns.Add(value.Int(int64(i)), value.Int(int64(rng.Intn(cfg.Accounts))),
+			value.Int(int64(1+rng.Intn(cfg.Days))), value.Int(int64(rng.Intn(10000))-2000))
+	}
+	db.Put("Txns", txns)
+	return db
+}

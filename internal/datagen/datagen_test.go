@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"testing"
+
+	"aggview/internal/engine"
+	"aggview/internal/ir"
+)
+
+func TestTelcoShape(t *testing.T) {
+	db := Telco(TelcoConfig{Plans: 8, Customers: 20, Calls: 1000, Seed: 1})
+	calls, ok := db.Get("Calls")
+	if !ok || calls.Len() != 1000 {
+		t.Fatal("Calls relation wrong")
+	}
+	plans, _ := db.Get("Calling_Plans")
+	if plans.Len() != 8 {
+		t.Fatal("Calling_Plans relation wrong")
+	}
+	cust, _ := db.Get("Customer")
+	if cust.Len() != 20 {
+		t.Fatal("Customer relation wrong")
+	}
+	// Every call must reference an existing plan and a valid date.
+	for _, row := range calls.Tuples {
+		p := row[2].AsInt()
+		if p < 0 || p >= 8 {
+			t.Fatalf("call references plan %d", p)
+		}
+		if m := row[4].AsInt(); m < 1 || m > 12 {
+			t.Fatalf("bad month %d", m)
+		}
+		if y := row[5].AsInt(); y < 1994 || y > 1996 {
+			t.Fatalf("bad year %d", y)
+		}
+	}
+}
+
+func TestTelcoZipfSkew(t *testing.T) {
+	db := Telco(TelcoConfig{Plans: 10, Calls: 20000, Seed: 3})
+	calls, _ := db.Get("Calls")
+	counts := map[int64]int{}
+	for _, row := range calls.Tuples {
+		counts[row[2].AsInt()]++
+	}
+	// Zipf: the most popular plan should dominate the least popular one.
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 4*min {
+		t.Errorf("expected skewed plan traffic, got max=%d min=%d", max, min)
+	}
+}
+
+func TestTelcoDeterministic(t *testing.T) {
+	a := Telco(TelcoConfig{Calls: 500, Seed: 42})
+	b := Telco(TelcoConfig{Calls: 500, Seed: 42})
+	ra, _ := a.Get("Calls")
+	rb, _ := b.Get("Calls")
+	if !engine.MultisetEqual(ra, rb) {
+		t.Error("same seed must reproduce the same data")
+	}
+}
+
+func TestTelcoCatalogMatchesData(t *testing.T) {
+	cat := TelcoCatalog()
+	db := Telco(TelcoConfig{Calls: 100, Seed: 1})
+	for _, tab := range cat.Tables() {
+		rel, ok := db.Get(tab.Name)
+		if !ok {
+			t.Fatalf("no relation for %s", tab.Name)
+		}
+		if len(rel.Attrs) != len(tab.Columns) {
+			t.Fatalf("%s: catalog arity %d vs data %d", tab.Name, len(tab.Columns), len(rel.Attrs))
+		}
+	}
+	// The catalog must type-check the motivating query.
+	ir.MustBuild(`SELECT Calling_Plans.Plan_Id, Plan_Name, SUM(Charge)
+		FROM Calls, Calling_Plans
+		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
+		GROUP BY Calling_Plans.Plan_Id, Plan_Name`, cat)
+}
+
+func TestR1R2(t *testing.T) {
+	db := R1R2(R1R2Config{R1Rows: 100, R2Rows: 50, Domain: 3, DupRate: 4, Seed: 9})
+	r1, _ := db.Get("R1")
+	if r1.Len() < 100 {
+		t.Error("duplicates should add rows")
+	}
+	for _, row := range r1.Tuples {
+		for _, v := range row {
+			if v.AsInt() < 0 || v.AsInt() >= 3 {
+				t.Fatalf("domain violation: %v", v)
+			}
+		}
+	}
+	cat := R1R2Catalog(true)
+	if !cat.MustTable("R1").HasKey() {
+		t.Error("keyed catalog")
+	}
+	if R1R2Catalog(false).MustTable("R1").HasKey() {
+		t.Error("unkeyed catalog")
+	}
+}
+
+func TestChronicle(t *testing.T) {
+	db := Chronicle(ChronicleConfig{Accounts: 10, Txns: 500, Days: 5, Seed: 2})
+	txns, _ := db.Get("Txns")
+	if txns.Len() != 500 {
+		t.Fatal("txn count")
+	}
+	accts, _ := db.Get("Accounts")
+	if accts.Len() != 10 {
+		t.Fatal("account count")
+	}
+	for _, row := range txns.Tuples {
+		if d := row[2].AsInt(); d < 1 || d > 5 {
+			t.Fatalf("bad day %d", d)
+		}
+		if a := row[1].AsInt(); a < 0 || a >= 10 {
+			t.Fatalf("bad account %d", a)
+		}
+	}
+	// Txn ids are unique (key).
+	seen := map[int64]bool{}
+	for _, row := range txns.Tuples {
+		id := row[0].AsInt()
+		if seen[id] {
+			t.Fatal("duplicate txn id")
+		}
+		seen[id] = true
+	}
+	ir.MustBuild("SELECT Acct_Id, SUM(Amount) FROM Txns GROUP BY Acct_Id", ChronicleCatalog())
+}

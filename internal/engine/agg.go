@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// group is one GROUP BY group: its representative row (for grouping
+// columns) and all member rows (for aggregates).
+type group struct {
+	rep  []value.Value
+	rows [][]value.Value
+}
+
+// aggregate evaluates the GROUP BY / HAVING / SELECT pipeline of an
+// aggregation query over the joined rows, appending result tuples to out.
+func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation) error {
+	var groups []*group
+	if len(q.GroupBy) == 0 {
+		// A single global group; an empty input yields no groups (see the
+		// package comment for this documented simplification).
+		if len(rows) > 0 {
+			groups = append(groups, &group{rep: rows[0], rows: rows})
+		}
+	} else {
+		index := map[string]*group{}
+		var order []string
+		for _, row := range rows {
+			key := ""
+			for _, g := range q.GroupBy {
+				key += row[g].Key() + "\x00"
+			}
+			grp, ok := index[key]
+			if !ok {
+				grp = &group{rep: row}
+				index[key] = grp
+				order = append(order, key)
+			}
+			grp.rows = append(grp.rows, row)
+		}
+		for _, k := range order {
+			groups = append(groups, index[k])
+		}
+	}
+
+	for _, g := range groups {
+		keep := true
+		for _, h := range q.Having {
+			l, err := evalGrouped(h.L, g)
+			if err != nil {
+				return err
+			}
+			r, err := evalGrouped(h.R, g)
+			if err != nil {
+				return err
+			}
+			ok, err := compare(h.Op, l, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		tuple := make([]value.Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := evalGrouped(it.Expr, g)
+			if err != nil {
+				return err
+			}
+			tuple[i] = v
+		}
+		out.Tuples = append(out.Tuples, tuple)
+	}
+	return nil
+}
+
+// evalScalar evaluates an aggregate-free expression on one row.
+func evalScalar(e ir.Expr, row []value.Value) (value.Value, error) {
+	switch x := e.(type) {
+	case *ir.ColRef:
+		return row[x.Col], nil
+	case *ir.Const:
+		return x.Val, nil
+	case *ir.Arith:
+		l, err := evalScalar(x.L, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := evalScalar(x.R, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return applyArith(x.Op, l, r)
+	case *ir.Agg:
+		return value.Value{}, fmt.Errorf("engine: aggregate %s in a non-aggregated context", x.Func)
+	default:
+		return value.Value{}, fmt.Errorf("engine: unknown expression %T", e)
+	}
+}
+
+// evalGrouped evaluates an expression in group context: bare columns
+// come from the representative row, aggregates fold over the group.
+func evalGrouped(e ir.Expr, g *group) (value.Value, error) {
+	switch x := e.(type) {
+	case *ir.ColRef:
+		return g.rep[x.Col], nil
+	case *ir.Const:
+		return x.Val, nil
+	case *ir.Arith:
+		l, err := evalGrouped(x.L, g)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := evalGrouped(x.R, g)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return applyArith(x.Op, l, r)
+	case *ir.Agg:
+		return evalAgg(x, g)
+	default:
+		return value.Value{}, fmt.Errorf("engine: unknown expression %T", e)
+	}
+}
+
+func applyArith(op ir.ArithOp, l, r value.Value) (value.Value, error) {
+	switch op {
+	case ir.ArithAdd:
+		return value.Add(l, r)
+	case ir.ArithSub:
+		return value.Sub(l, r)
+	case ir.ArithMul:
+		return value.Mul(l, r)
+	case ir.ArithDiv:
+		return value.Div(l, r)
+	default:
+		return value.Value{}, fmt.Errorf("engine: unknown arithmetic operator %v", op)
+	}
+}
+
+// evalAgg folds an aggregate over a group's rows.
+func evalAgg(a *ir.Agg, g *group) (value.Value, error) {
+	if a.Star || a.Func == ir.AggCount && a.Arg == nil {
+		return value.Int(int64(len(g.rows))), nil
+	}
+	switch a.Func {
+	case ir.AggCount:
+		// No NULLs: COUNT(arg) counts rows. The argument is still
+		// evaluated on one row to surface reference errors.
+		if len(g.rows) > 0 {
+			if _, err := evalScalar(a.Arg, g.rows[0]); err != nil {
+				return value.Value{}, err
+			}
+		}
+		return value.Int(int64(len(g.rows))), nil
+	case ir.AggMin, ir.AggMax:
+		var best value.Value
+		for i, row := range g.rows {
+			v, err := evalScalar(a.Arg, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if i == 0 {
+				best = v
+				continue
+			}
+			if !value.Comparable(best, v) {
+				return value.Value{}, fmt.Errorf("engine: %s over incomparable values %s and %s", a.Func, best, v)
+			}
+			c := value.Compare(v, best)
+			if (a.Func == ir.AggMin && c < 0) || (a.Func == ir.AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case ir.AggSum:
+		var sum value.Value
+		for i, row := range g.rows {
+			v, err := evalScalar(a.Arg, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if !v.IsNumeric() {
+				return value.Value{}, fmt.Errorf("engine: SUM over non-numeric value %s", v)
+			}
+			if i == 0 {
+				sum = v
+				continue
+			}
+			sum, err = value.Add(sum, v)
+			if err != nil {
+				return value.Value{}, err
+			}
+		}
+		return sum, nil
+	case ir.AggAvg:
+		total := 0.0
+		for _, row := range g.rows {
+			v, err := evalScalar(a.Arg, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if !v.IsNumeric() {
+				return value.Value{}, fmt.Errorf("engine: AVG over non-numeric value %s", v)
+			}
+			total += v.AsFloat()
+		}
+		return value.Float(total / float64(len(g.rows))), nil
+	default:
+		return value.Value{}, fmt.Errorf("engine: unknown aggregate %v", a.Func)
+	}
+}

@@ -1,0 +1,522 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+func src() ir.MapSource {
+	return ir.MapSource{
+		"R1":            {"A", "B", "C", "D"},
+		"R2":            {"E", "F"},
+		"Calls":         {"Call_Id", "Plan_Id", "Month", "Year", "Charge"},
+		"Calling_Plans": {"Plan_Id", "Plan_Name"},
+	}
+}
+
+func iv(n int64) value.Value  { return value.Int(n) }
+func sv(s string) value.Value { return value.Str(s) }
+
+func smallDB() *DB {
+	db := NewDB()
+	r1 := NewRelation("A", "B", "C", "D")
+	r1.Add(iv(1), iv(10), iv(100), iv(10))
+	r1.Add(iv(1), iv(20), iv(100), iv(20))
+	r1.Add(iv(2), iv(30), iv(200), iv(31)) // B <> D
+	r1.Add(iv(1), iv(10), iv(100), iv(10)) // duplicate of row 0
+	db.Put("R1", r1)
+	r2 := NewRelation("E", "F")
+	r2.Add(iv(5), iv(100))
+	r2.Add(iv(6), iv(200))
+	r2.Add(iv(7), iv(999))
+	db.Put("R2", r2)
+	return db
+}
+
+func exec(t *testing.T, db *DB, views *ir.Registry, sql string, source ir.SchemaSource) *Relation {
+	t.Helper()
+	if source == nil {
+		source = src()
+	}
+	q := ir.MustBuild(sql, source)
+	r, err := NewEvaluator(db, views).Exec(q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return r
+}
+
+func TestScanAndFilter(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, B FROM R1 WHERE B = D", nil)
+	if r.Len() != 3 {
+		t.Fatalf("want 3 rows (with duplicate), got %d:\n%s", r.Len(), r)
+	}
+	r = exec(t, db, nil, "SELECT A FROM R1 WHERE B <> D", nil)
+	if r.Len() != 1 || r.Tuples[0][0].AsInt() != 2 {
+		t.Fatalf("inequality filter wrong:\n%s", r)
+	}
+	r = exec(t, db, nil, "SELECT A FROM R1 WHERE B >= 20 AND B <= 30", nil)
+	if r.Len() != 2 {
+		t.Fatalf("range filter: %s", r)
+	}
+}
+
+func TestMultisetSemanticsPreserveDuplicates(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A FROM R1", nil)
+	if r.Len() != 4 {
+		t.Fatalf("projection must keep duplicates: %d", r.Len())
+	}
+	d := exec(t, db, nil, "SELECT DISTINCT A FROM R1", nil)
+	if d.Len() != 2 {
+		t.Fatalf("DISTINCT: want 2, got %d", d.Len())
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, E FROM R1, R2 WHERE C = F", nil)
+	// R1 rows with C=100 (3 rows) join E=5; C=200 (1 row) joins E=6.
+	if r.Len() != 4 {
+		t.Fatalf("join row count: want 4, got %d\n%s", r.Len(), r)
+	}
+}
+
+func TestCrossProductAndResidualPredicate(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, E FROM R1, R2", nil)
+	if r.Len() != 12 {
+		t.Fatalf("cross product: want 12, got %d", r.Len())
+	}
+	// Non-equality predicate across tables goes through the residual path.
+	r = exec(t, db, nil, "SELECT A, E FROM R1, R2 WHERE C < F", nil)
+	// C=100 rows (3) with F in {200,999} -> 6; C=200 row with F=999 -> 1.
+	if r.Len() != 7 {
+		t.Fatalf("residual predicate: want 7, got %d\n%s", r.Len(), r)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT r.A FROM R1 r, R1 s WHERE r.B = s.D", nil)
+	// Pairs where r.B = s.D: B values {10,20,30,10}; D values {10,20,31,10}.
+	// B=10 matches D=10 (2 rows) twice (rows 0 and 3): 2*2=4; B=20 matches
+	// D=20 once; B=30 matches nothing. Total 4+1 = 5.
+	if r.Len() != 5 {
+		t.Fatalf("self join: want 5, got %d\n%s", r.Len(), r)
+	}
+}
+
+func TestGroupingAndAggregates(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, COUNT(B), SUM(B), MIN(B), MAX(B), AVG(B) FROM R1 GROUP BY A", nil).Sorted()
+	if r.Len() != 2 {
+		t.Fatalf("groups: %s", r)
+	}
+	// Group A=1: B in {10,20,10}; Group A=2: B in {30}.
+	g1 := r.Tuples[0]
+	if g1[0].AsInt() != 1 || g1[1].AsInt() != 3 || g1[2].AsInt() != 40 ||
+		g1[3].AsInt() != 10 || g1[4].AsInt() != 20 {
+		t.Errorf("group 1 aggregates wrong: %v", g1)
+	}
+	if av := g1[5].AsFloat(); av < 13.3 || av > 13.4 {
+		t.Errorf("AVG: %v", g1[5])
+	}
+	g2 := r.Tuples[1]
+	if g2[0].AsInt() != 2 || g2[1].AsInt() != 1 || g2[2].AsInt() != 30 {
+		t.Errorf("group 2 aggregates wrong: %v", g2)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT COUNT(A), SUM(B) FROM R1", nil)
+	if r.Len() != 1 || r.Tuples[0][0].AsInt() != 4 || r.Tuples[0][1].AsInt() != 70 {
+		t.Fatalf("global aggregate: %s", r)
+	}
+	// Empty input: zero rows under the documented simplification.
+	r = exec(t, db, nil, "SELECT COUNT(A) FROM R1 WHERE A > 100", nil)
+	if r.Len() != 0 {
+		t.Fatalf("empty input should produce no groups, got %s", r)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) > 35", nil)
+	if r.Len() != 1 || r.Tuples[0][0].AsInt() != 1 {
+		t.Fatalf("HAVING: %s", r)
+	}
+	r = exec(t, db, nil, "SELECT A FROM R1 GROUP BY A HAVING COUNT(B) >= 3 AND MIN(B) = 10", nil)
+	if r.Len() != 1 {
+		t.Fatalf("HAVING conjunction: %s", r)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT A, COUNT(*) FROM R1 GROUP BY A", nil).Sorted()
+	if r.Tuples[0][1].AsInt() != 3 || r.Tuples[1][1].AsInt() != 1 {
+		t.Fatalf("COUNT(*): %s", r)
+	}
+}
+
+func TestArithmeticInSelectAndAggregate(t *testing.T) {
+	db := smallDB()
+	// Scaled aggregate: SUM(B * A) and outside arithmetic on grouping col.
+	r := exec(t, db, nil, "SELECT A, A * 2, SUM(B * A) FROM R1 GROUP BY A", nil).Sorted()
+	g1 := r.Tuples[0]
+	if g1[1].AsInt() != 2 || g1[2].AsInt() != 40 {
+		t.Errorf("arith select: %v", g1)
+	}
+	g2 := r.Tuples[1]
+	if g2[1].AsInt() != 4 || g2[2].AsInt() != 60 {
+		t.Errorf("arith select: %v", g2)
+	}
+}
+
+func TestViewResolution(t *testing.T) {
+	db := smallDB()
+	reg := ir.NewRegistry()
+	vq := ir.MustBuild("SELECT A, SUM(B) FROM R1 GROUP BY A", src())
+	v, err := ir.NewViewDef("V1", vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	full := ir.MultiSource{src(), reg}
+	r := exec(t, db, reg, "SELECT A FROM V1 WHERE sum_B > 35", full)
+	if r.Len() != 1 || r.Tuples[0][0].AsInt() != 1 {
+		t.Fatalf("query over view: %s", r)
+	}
+}
+
+func TestMaterializedViewPreferred(t *testing.T) {
+	// When a relation with the view's name exists in the DB, it is used
+	// directly instead of evaluating the definition.
+	db := smallDB()
+	mat := NewRelation("A", "sum_B")
+	mat.Add(iv(42), iv(1))
+	db.Put("V1", mat)
+	reg := ir.NewRegistry()
+	vq := ir.MustBuild("SELECT A, SUM(B) FROM R1 GROUP BY A", src())
+	v, _ := ir.NewViewDef("V1", vq)
+	_ = reg.Add(v)
+	full := ir.MultiSource{src(), reg}
+	r := exec(t, db, reg, "SELECT A FROM V1", full)
+	if r.Len() != 1 || r.Tuples[0][0].AsInt() != 42 {
+		t.Fatalf("materialized view not preferred: %s", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := smallDB()
+	q := ir.MustBuild("SELECT A FROM R1", ir.MapSource{"R1": {"A"}})
+	if _, err := NewEvaluator(db, nil).Exec(q); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	q2 := ir.MustBuild("SELECT X FROM Missing", ir.MapSource{"Missing": {"X"}})
+	if _, err := NewEvaluator(db, nil).Exec(q2); err == nil {
+		t.Error("missing relation should fail")
+	}
+	// SUM over strings must fail.
+	db2 := NewDB()
+	rs := NewRelation("S")
+	rs.Add(sv("x"))
+	db2.Put("T", rs)
+	q3 := ir.MustBuild("SELECT SUM(S) FROM T", ir.MapSource{"T": {"S"}})
+	if _, err := NewEvaluator(db2, nil).Exec(q3); err == nil {
+		t.Error("SUM over strings should fail")
+	}
+	q4 := ir.MustBuild("SELECT AVG(S) FROM T", ir.MapSource{"T": {"S"}})
+	if _, err := NewEvaluator(db2, nil).Exec(q4); err == nil {
+		t.Error("AVG over strings should fail")
+	}
+}
+
+func TestIncomparableCompareFalse(t *testing.T) {
+	db := NewDB()
+	r := NewRelation("A", "B")
+	r.Add(iv(1), sv("x"))
+	db.Put("T", r)
+	out := exec(t, db, nil, "SELECT A FROM T WHERE A = B", ir.MapSource{"T": {"A", "B"}})
+	if out.Len() != 0 {
+		t.Error("int = string should be false")
+	}
+	out = exec(t, db, nil, "SELECT A FROM T WHERE A <> B", ir.MapSource{"T": {"A", "B"}})
+	if out.Len() != 1 {
+		t.Error("int <> string should be true")
+	}
+}
+
+func TestConstantPredicate(t *testing.T) {
+	db := smallDB()
+	if r := exec(t, db, nil, "SELECT A FROM R1 WHERE 1 = 2", nil); r.Len() != 0 {
+		t.Error("false constant predicate")
+	}
+	if r := exec(t, db, nil, "SELECT A FROM R1 WHERE 1 < 2", nil); r.Len() != 4 {
+		t.Error("true constant predicate")
+	}
+}
+
+func TestMultisetEqual(t *testing.T) {
+	a := NewRelation("X")
+	a.Add(iv(1))
+	a.Add(iv(2))
+	a.Add(iv(1))
+	b := NewRelation("Y")
+	b.Add(iv(2))
+	b.Add(iv(1))
+	b.Add(iv(1))
+	if !MultisetEqual(a, b) {
+		t.Error("order must not matter")
+	}
+	b.Add(iv(1))
+	if MultisetEqual(a, b) {
+		t.Error("multiplicity must matter")
+	}
+	c := NewRelation("X")
+	c.Add(iv(1))
+	c.Add(iv(2))
+	c.Add(iv(2))
+	if MultisetEqual(a, c) {
+		t.Error("different multisets")
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	r := NewRelation("A", "B")
+	r.Add(iv(2), sv("b"))
+	r.Add(iv(1), sv("a"))
+	s := r.Sorted()
+	if s.Tuples[0][0].AsInt() != 1 {
+		t.Error("Sorted")
+	}
+	if r.Tuples[0][0].AsInt() != 2 {
+		t.Error("Sorted must not mutate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity panic expected")
+		}
+	}()
+	r.Add(iv(1))
+}
+
+// --- reference evaluator cross-check ---
+
+// refEval is a deliberately naive evaluator: full cross product, then
+// filters, then grouping — no planning at all. The production engine
+// must agree with it on random inputs.
+func refEval(q *ir.Query, db *DB) (*Relation, error) {
+	rows := [][]value.Value{make([]value.Value, q.NumCols())}
+	for ti, t := range q.Tables {
+		rel, ok := db.Get(t.Source)
+		if !ok {
+			return nil, errMissing
+		}
+		var next [][]value.Value
+		for _, row := range rows {
+			for _, tup := range rel.Tuples {
+				nr := append([]value.Value{}, row...)
+				for pos, id := range q.Tables[ti].Cols {
+					nr[id] = tup[pos]
+				}
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	var kept [][]value.Value
+	for _, row := range rows {
+		ok := true
+		for _, p := range q.Where {
+			h, err := predHolds(p, row)
+			if err != nil {
+				return nil, err
+			}
+			if !h {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	out := &Relation{Attrs: ir.OutputNames(q)}
+	ev := NewEvaluator(db, nil)
+	if q.IsAggregationQuery() {
+		if err := ev.aggregate(q, kept, out); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range kept {
+			tuple := make([]value.Value, len(q.Select))
+			for i, it := range q.Select {
+				v, err := evalScalar(it.Expr, row)
+				if err != nil {
+					return nil, err
+				}
+				tuple[i] = v
+			}
+			out.Tuples = append(out.Tuples, tuple)
+		}
+	}
+	if q.Distinct {
+		out = distinct(out)
+	}
+	return out, nil
+}
+
+var errMissing = &missingErr{}
+
+type missingErr struct{}
+
+func (*missingErr) Error() string { return "missing relation" }
+
+func randDB(r *rand.Rand) *DB {
+	db := NewDB()
+	for _, name := range []string{"R1", "R2"} {
+		var rel *Relation
+		if name == "R1" {
+			rel = NewRelation("A", "B", "C", "D")
+		} else {
+			rel = NewRelation("E", "F")
+		}
+		n := r.Intn(8)
+		for i := 0; i < n; i++ {
+			tup := make([]value.Value, len(rel.Attrs))
+			for j := range tup {
+				tup[j] = iv(int64(r.Intn(4)))
+			}
+			rel.Add(tup...)
+		}
+		db.Put(name, rel)
+	}
+	return db
+}
+
+func TestEngineMatchesReferenceOnRandomInputs(t *testing.T) {
+	queries := []string{
+		"SELECT A, B FROM R1 WHERE A = B",
+		"SELECT A FROM R1, R2 WHERE A = E AND B < F",
+		"SELECT A, E FROM R1, R2 WHERE B = F AND C <> D",
+		"SELECT A, COUNT(B), SUM(C) FROM R1 GROUP BY A",
+		"SELECT A, E, SUM(B) FROM R1, R2 WHERE C = F GROUP BY A, E",
+		"SELECT A, MIN(B), MAX(C) FROM R1 GROUP BY A HAVING COUNT(D) > 1",
+		"SELECT DISTINCT A, B FROM R1, R2",
+		"SELECT E, SUM(A * B) FROM R1, R2 WHERE A <= E GROUP BY E",
+		"SELECT r.A, s.B FROM R1 r, R1 s WHERE r.A = s.A",
+		"SELECT AVG(B) FROM R1",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		db := randDB(rng)
+		for _, sql := range queries {
+			q := ir.MustBuild(sql, src())
+			got, err1 := NewEvaluator(db, nil).Exec(q)
+			want, err2 := refEval(q, db)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s: error mismatch %v vs %v", sql, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !MultisetEqual(got, want) {
+				t.Fatalf("%s: engine disagrees with reference\nengine:\n%s\nreference:\n%s", sql, got.Sorted(), want.Sorted())
+			}
+		}
+	}
+}
+
+func TestEmptyRelationEverywhere(t *testing.T) {
+	db := NewDB()
+	db.Put("R1", NewRelation("A", "B", "C", "D"))
+	db.Put("R2", NewRelation("E", "F"))
+	cases := []string{
+		"SELECT A FROM R1",
+		"SELECT A, SUM(B) FROM R1 GROUP BY A",
+		"SELECT SUM(B) FROM R1",
+		"SELECT A, E FROM R1, R2 WHERE A = E",
+		"SELECT DISTINCT A FROM R1",
+		"SELECT A FROM R1 GROUP BY A HAVING COUNT(B) > 0",
+	}
+	for _, sql := range cases {
+		if r := exec(t, db, nil, sql, nil); r.Len() != 0 {
+			t.Errorf("%s over empty tables: %d rows", sql, r.Len())
+		}
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := smallDB()
+	r := exec(t, db, nil, "SELECT SUM(B) FROM R1 HAVING COUNT(A) > 3", nil)
+	if r.Len() != 1 {
+		t.Fatalf("global HAVING should keep the single group: %s", r)
+	}
+	r = exec(t, db, nil, "SELECT SUM(B) FROM R1 HAVING COUNT(A) > 100", nil)
+	if r.Len() != 0 {
+		t.Fatalf("global HAVING should drop the group: %s", r)
+	}
+}
+
+func TestOneSidedJoinEmpty(t *testing.T) {
+	db := smallDB()
+	db.Put("R2", NewRelation("E", "F"))
+	r := exec(t, db, nil, "SELECT A FROM R1, R2 WHERE C = F", nil)
+	if r.Len() != 0 {
+		t.Fatal("join with an empty side must be empty")
+	}
+}
+
+func TestMixedIntFloatGroupingKeys(t *testing.T) {
+	db := NewDB()
+	rel := NewRelation("K", "V")
+	rel.Add(iv(1), iv(10))
+	rel.Add(value.Float(1.0), iv(20)) // same group as Int(1)
+	rel.Add(value.Float(1.5), iv(30))
+	db.Put("T", rel)
+	r := exec(t, db, nil, "SELECT K, SUM(V) FROM T GROUP BY K", ir.MapSource{"T": {"K", "V"}}).Sorted()
+	if r.Len() != 2 {
+		t.Fatalf("1 and 1.0 must share a group: %s", r)
+	}
+	if r.Tuples[0][1].AsInt() != 30 {
+		t.Fatalf("mixed-type group sum: %s", r)
+	}
+}
+
+func TestThreeWayJoinOrdering(t *testing.T) {
+	// A chain join where the greedy order matters: R1 - R2 - R3.
+	db := NewDB()
+	r1 := NewRelation("A", "B")
+	r2 := NewRelation("C", "D")
+	r3 := NewRelation("E", "F")
+	for i := int64(0); i < 6; i++ {
+		r1.Add(iv(i), iv(i%3))
+		r2.Add(iv(i%3), iv(i%2))
+		r3.Add(iv(i%2), iv(i))
+	}
+	db.Put("T1", r1)
+	db.Put("T2", r2)
+	db.Put("T3", r3)
+	src := ir.MapSource{"T1": {"A", "B"}, "T2": {"C", "D"}, "T3": {"E", "F"}}
+	q := ir.MustBuild("SELECT A, F FROM T1, T2, T3 WHERE B = C AND D = E", src)
+	got, err := NewEvaluator(db, nil).Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refEval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MultisetEqual(got, want) {
+		t.Fatalf("three-way join disagrees with reference:\n%s\nvs\n%s", got.Sorted(), want.Sorted())
+	}
+}

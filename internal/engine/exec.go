@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"fmt"
+
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// Evaluator executes canonical queries against a database. FROM sources
+// that are not base relations are resolved through Views: their
+// definitions are evaluated on demand and cached, which is how rewritten
+// queries that reference auxiliary views (the paper's Va construction)
+// are executed.
+type Evaluator struct {
+	DB    *DB
+	Views *ir.Registry
+
+	cache map[string]*Relation
+}
+
+// NewEvaluator builds an evaluator over a database; views may be nil.
+func NewEvaluator(db *DB, views *ir.Registry) *Evaluator {
+	return &Evaluator{DB: db, Views: views, cache: map[string]*Relation{}}
+}
+
+// Exec evaluates the query and returns its result relation. The result's
+// attribute names come from ir.OutputNames.
+func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
+	rows, err := ev.joinRows(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Attrs: ir.OutputNames(q)}
+	if q.IsAggregationQuery() {
+		if err := ev.aggregate(q, rows, out); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range rows {
+			tuple := make([]value.Value, len(q.Select))
+			for i, it := range q.Select {
+				v, err := evalScalar(it.Expr, row)
+				if err != nil {
+					return nil, err
+				}
+				tuple[i] = v
+			}
+			out.Tuples = append(out.Tuples, tuple)
+		}
+	}
+	if q.Distinct {
+		out = distinct(out)
+	}
+	return out, nil
+}
+
+// resolve finds the relation behind a FROM source name.
+func (ev *Evaluator) resolve(name string) (*Relation, error) {
+	if r, ok := ev.DB.Get(name); ok {
+		return r, nil
+	}
+	if r, ok := ev.cache[name]; ok {
+		return r, nil
+	}
+	if ev.Views != nil {
+		if v, ok := ev.Views.Get(name); ok {
+			r, err := ev.Exec(v.Def)
+			if err != nil {
+				return nil, fmt.Errorf("engine: materializing view %s: %w", name, err)
+			}
+			r.Attrs = append([]string{}, v.OutCols...)
+			ev.cache[name] = r
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: no relation or view named %q", name)
+}
+
+// joinRows evaluates the FROM and WHERE clauses, producing full-width
+// rows indexed by ColID.
+func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
+	n := len(q.Tables)
+	rels := make([]*Relation, n)
+	for i, t := range q.Tables {
+		r, err := ev.resolve(t.Source)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Attrs) != len(t.Cols) {
+			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", t.Source, len(r.Attrs), len(t.Cols))
+		}
+		rels[i] = r
+	}
+
+	// Classify predicates.
+	tableOf := func(c ir.ColID) int { return q.Col(c).Table }
+	perTable := make([][]ir.Pred, n)
+	var joinEq, residual []ir.Pred
+	for _, p := range q.Where {
+		tabs := map[int]bool{}
+		if !p.L.IsConst {
+			tabs[tableOf(p.L.Col)] = true
+		}
+		if !p.R.IsConst {
+			tabs[tableOf(p.R.Col)] = true
+		}
+		switch {
+		case len(tabs) <= 1:
+			ti := 0
+			for t := range tabs {
+				ti = t
+			}
+			if len(tabs) == 0 {
+				// Constant-only predicate: evaluate it once.
+				ok, err := constPred(p)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return nil, nil // predicate is false: empty result
+				}
+				continue
+			}
+			perTable[ti] = append(perTable[ti], p)
+		case p.Op == ir.OpEq && !p.L.IsConst && !p.R.IsConst:
+			joinEq = append(joinEq, p)
+		default:
+			residual = append(residual, p)
+		}
+	}
+
+	// Filter each table, producing full-width rows for that table alone.
+	width := q.NumCols()
+	filtered := make([][][]value.Value, n)
+	for i := range rels {
+		cols := q.Tables[i].Cols
+		for _, t := range rels[i].Tuples {
+			row := make([]value.Value, width)
+			for pos, id := range cols {
+				row[id] = t[pos]
+			}
+			ok := true
+			for _, p := range perTable[i] {
+				h, err := predHolds(p, row)
+				if err != nil {
+					return nil, err
+				}
+				if !h {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filtered[i] = append(filtered[i], row)
+			}
+		}
+	}
+
+	// Greedy hash-join order: start with the smallest table; prefer
+	// tables connected to the joined set by an equality predicate.
+	joined := map[int]bool{}
+	pickFirst := 0
+	for i := 1; i < n; i++ {
+		if len(filtered[i]) < len(filtered[pickFirst]) {
+			pickFirst = i
+		}
+	}
+	current := filtered[pickFirst]
+	joined[pickFirst] = true
+
+	pendingEq := append([]ir.Pred{}, joinEq...)
+	pendingRes := append([]ir.Pred{}, residual...)
+
+	for len(joined) < n {
+		next := -1
+		connected := false
+		for i := 0; i < n; i++ {
+			if joined[i] {
+				continue
+			}
+			conn := false
+			for _, p := range pendingEq {
+				lt, rt := tableOf(p.L.Col), tableOf(p.R.Col)
+				if (lt == i && joined[rt]) || (rt == i && joined[lt]) {
+					conn = true
+					break
+				}
+			}
+			switch {
+			case conn && !connected:
+				next, connected = i, true
+			case conn == connected && (next == -1 || len(filtered[i]) < len(filtered[next])):
+				next = i
+			}
+		}
+
+		// Split pending equality predicates into those joining `next`
+		// with the joined set.
+		var keys []ir.Pred
+		var stillPending []ir.Pred
+		for _, p := range pendingEq {
+			lt, rt := tableOf(p.L.Col), tableOf(p.R.Col)
+			if (lt == next && joined[rt]) || (rt == next && joined[lt]) {
+				keys = append(keys, p)
+			} else {
+				stillPending = append(stillPending, p)
+			}
+		}
+		pendingEq = stillPending
+
+		current = hashJoin(current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
+		joined[next] = true
+
+		// Apply residual predicates that are now fully bound.
+		var rest []ir.Pred
+		for _, p := range pendingRes {
+			if (p.L.IsConst || joined[tableOf(p.L.Col)]) && (p.R.IsConst || joined[tableOf(p.R.Col)]) {
+				var kept [][]value.Value
+				for _, row := range current {
+					h, err := predHolds(p, row)
+					if err != nil {
+						return nil, err
+					}
+					if h {
+						kept = append(kept, row)
+					}
+				}
+				current = kept
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		pendingRes = rest
+	}
+	return current, nil
+}
+
+// keyPair is one equality join key: a column already bound on the left
+// and its counterpart on the table being joined.
+type keyPair struct{ l, r ir.ColID }
+
+// hashJoin joins the accumulated rows with the rows of table `next`
+// using the equality predicates in keys; with no keys it degrades to a
+// cross product. nextCols lists the ColID slots owned by the table being
+// joined, so merging copies exactly those slots.
+func hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) [][]value.Value {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	if len(keys) == 0 {
+		out := make([][]value.Value, 0, len(left)*len(right))
+		for _, l := range left {
+			for _, r := range right {
+				out = append(out, mergeRows(l, r, nextCols))
+			}
+		}
+		return out
+	}
+	pairs := make([]keyPair, len(keys))
+	for i, p := range keys {
+		l, r := p.L.Col, p.R.Col
+		if tableOf(l) == next {
+			l, r = r, l
+		}
+		pairs[i] = keyPair{l, r}
+	}
+	index := make(map[string][][]value.Value, len(right))
+	for _, row := range right {
+		k := joinKey(row, pairs, false)
+		index[k] = append(index[k], row)
+	}
+	var out [][]value.Value
+	for _, l := range left {
+		for _, r := range index[joinKey(l, pairs, true)] {
+			out = append(out, mergeRows(l, r, nextCols))
+		}
+	}
+	return out
+}
+
+func joinKey(row []value.Value, pairs []keyPair, left bool) string {
+	key := ""
+	for _, p := range pairs {
+		c := p.r
+		if left {
+			c = p.l
+		}
+		key += row[c].Key() + "\x00"
+	}
+	return key
+}
+
+// mergeRows combines a full-width accumulated row with a row that owns
+// exactly the slots in bCols.
+func mergeRows(a, b []value.Value, bCols []ir.ColID) []value.Value {
+	out := make([]value.Value, len(a))
+	copy(out, a)
+	for _, c := range bCols {
+		out[c] = b[c]
+	}
+	return out
+}
+
+// predHolds evaluates a WHERE predicate on a full-width row.
+func predHolds(p ir.Pred, row []value.Value) (bool, error) {
+	l := termValue(p.L, row)
+	r := termValue(p.R, row)
+	return compare(p.Op, l, r)
+}
+
+func constPred(p ir.Pred) (bool, error) {
+	return compare(p.Op, p.L.Val, p.R.Val)
+}
+
+func termValue(t ir.Term, row []value.Value) value.Value {
+	if t.IsConst {
+		return t.Val
+	}
+	return row[t.Col]
+}
+
+// compare applies a comparison operator; incomparable kinds compare
+// false (no implicit casts beyond int/float).
+func compare(op ir.Op, l, r value.Value) (bool, error) {
+	if !value.Comparable(l, r) {
+		return op == ir.OpNeq, nil
+	}
+	c := value.Compare(l, r)
+	switch op {
+	case ir.OpEq:
+		return c == 0, nil
+	case ir.OpNeq:
+		return c != 0, nil
+	case ir.OpLt:
+		return c < 0, nil
+	case ir.OpLeq:
+		return c <= 0, nil
+	case ir.OpGt:
+		return c > 0, nil
+	case ir.OpGeq:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("engine: unknown operator %v", op)
+	}
+}
+
+// distinct removes duplicate tuples.
+func distinct(r *Relation) *Relation {
+	seen := map[string]bool{}
+	out := &Relation{Attrs: r.Attrs}
+	for _, t := range r.Tuples {
+		k := tupleKey(t)
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}

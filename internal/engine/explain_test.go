@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"aggview/internal/ir"
+)
+
+func TestExplainShapes(t *testing.T) {
+	db := smallDB()
+	ev := NewEvaluator(db, nil)
+	cases := []struct {
+		sql   string
+		frags []string
+	}{
+		{
+			"SELECT A, SUM(B) FROM R1, R2 WHERE C = F AND B > 1 AND A <> E GROUP BY A HAVING SUM(B) > 3",
+			[]string{"scan R1 [4 rows] filter(B > 1)", "scan R2 [3 rows]",
+				"hash join on C = F", "residual filter A <> E",
+				"group by A", "having SUM(B) > 3", "project A, SUM(B)"},
+		},
+		{
+			"SELECT DISTINCT A FROM R1",
+			[]string{"scan R1 [4 rows]", "project A distinct"},
+		},
+		{
+			"SELECT COUNT(A) FROM R1, R2",
+			[]string{"cross product", "single global group", "project COUNT(A)"},
+		},
+		{
+			"SELECT A FROM R1 WHERE 1 = 2",
+			[]string{"residual filter 1 = 2"},
+		},
+	}
+	for _, tc := range cases {
+		q := ir.MustBuild(tc.sql, src())
+		out := ev.Explain(q)
+		for _, frag := range tc.frags {
+			if !strings.Contains(out, frag) {
+				t.Errorf("Explain(%q) missing %q:\n%s", tc.sql, frag, out)
+			}
+		}
+	}
+}
+
+func TestExplainWithViewsAndNilDB(t *testing.T) {
+	reg := ir.NewRegistry()
+	vq := ir.MustBuild("SELECT A, SUM(B) FROM R1 GROUP BY A", src())
+	v, err := ir.NewViewDef("V1", vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(NewDB(), reg)
+	q := ir.MustBuild("SELECT A FROM V1", ir.MultiSource{src(), reg})
+	out := ev.Explain(q)
+	if !strings.Contains(out, "scan V1 [view]") {
+		t.Errorf("view annotation missing:\n%s", out)
+	}
+	// Explain must not panic without an evaluator database.
+	out2 := (&Evaluator{}).Explain(q)
+	if !strings.Contains(out2, "scan V1") {
+		t.Errorf("nil-db explain broken:\n%s", out2)
+	}
+}

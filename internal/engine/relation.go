@@ -1,0 +1,133 @@
+// Package engine is an in-memory multiset (bag) query engine for the
+// canonical queries of package ir. It exists so the rewriter's output can
+// be executed and checked for multiset equivalence against the original
+// query — the paper's correctness criterion (Definition 2.2) — and so the
+// benchmark harness can measure the speedups that motivate the paper.
+//
+// The engine evaluates single-block queries with conjunctive WHERE
+// clauses, grouping, the aggregates MIN/MAX/SUM/COUNT/AVG (including
+// aggregates over arithmetic expressions, which rewritten queries use),
+// HAVING, and DISTINCT. Planning is simple but not naive: per-table
+// filters are pushed down and equality joins run as hash joins.
+//
+// Simplification (documented in DESIGN.md): there are no NULLs, and an
+// aggregation query without GROUP BY over an empty input yields zero
+// rows rather than one all-NULL row. Both sides of an equivalence check
+// run under the same semantics.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aggview/internal/value"
+)
+
+// Relation is a named-schema multiset of tuples.
+type Relation struct {
+	Attrs  []string
+	Tuples [][]value.Value
+}
+
+// NewRelation builds an empty relation with the given attribute names.
+func NewRelation(attrs ...string) *Relation {
+	return &Relation{Attrs: attrs}
+}
+
+// Add appends a tuple; it panics when the arity is wrong (programming
+// error in test or generator code).
+func (r *Relation) Add(vals ...value.Value) {
+	if len(vals) != len(r.Attrs) {
+		panic(fmt.Sprintf("engine: tuple arity %d, relation %v has %d attributes", len(vals), r.Attrs, len(r.Attrs)))
+	}
+	r.Tuples = append(r.Tuples, vals)
+}
+
+// Len returns the number of tuples (with multiplicity).
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// tupleKey returns a canonical string for a tuple, used for sorting and
+// multiset comparison.
+func tupleKey(t []value.Value) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// MultisetEqual reports whether two relations contain the same multiset
+// of tuples (attribute names are ignored; only positions and values
+// matter, matching the paper's multiset-equivalence of query results).
+func MultisetEqual(a, b *Relation) bool {
+	if len(a.Tuples) != len(b.Tuples) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	ka := make([]string, len(a.Tuples))
+	kb := make([]string, len(b.Tuples))
+	for i, t := range a.Tuples {
+		ka[i] = tupleKey(t)
+	}
+	for i, t := range b.Tuples {
+		kb[i] = tupleKey(t)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Attrs, " | "))
+	b.WriteByte('\n')
+	for i, t := range r.Tuples {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... (%d tuples total)\n", len(r.Tuples))
+			break
+		}
+		parts := make([]string, len(t))
+		for j, v := range t {
+			parts[j] = v.String()
+		}
+		b.WriteString(strings.Join(parts, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sorted returns a copy of the relation with tuples in canonical order,
+// for deterministic golden tests.
+func (r *Relation) Sorted() *Relation {
+	out := &Relation{Attrs: append([]string{}, r.Attrs...), Tuples: append([][]value.Value{}, r.Tuples...)}
+	sort.Slice(out.Tuples, func(i, j int) bool {
+		return tupleKey(out.Tuples[i]) < tupleKey(out.Tuples[j])
+	})
+	return out
+}
+
+// DB is a collection of named relations (base tables and materialized
+// views), looked up case-insensitively.
+type DB struct {
+	rels map[string]*Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
+
+// Put stores a relation under a name, replacing any previous one.
+func (db *DB) Put(name string, r *Relation) {
+	db.rels[strings.ToLower(name)] = r
+}
+
+// Get looks up a relation by name.
+func (db *DB) Get(name string) (*Relation, bool) {
+	r, ok := db.rels[strings.ToLower(name)]
+	return r, ok
+}

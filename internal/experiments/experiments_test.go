@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllQuick runs the whole experiment suite at reduced scales: every
+// table must be produced and every machine-checked claim must hold.
+func TestAllQuick(t *testing.T) {
+	var buf bytes.Buffer
+	All(&buf, true)
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, "## "+id+" ") {
+			t.Errorf("experiment %s missing from output", id)
+		}
+	}
+	if strings.Contains(out, "WRONG") && !strings.Contains(out, "published Q' (Ex. 4.2 verbatim) | 20 | WRONG") {
+		t.Errorf("unexpected WRONG verdict:\n%s", out)
+	}
+	if strings.Contains(out, "| NO |") {
+		t.Errorf("an equivalence check failed:\n%s", out)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("a boolean claim check failed:\n%s", out)
+	}
+}
+
+func TestCounterexampleAnswers(t *testing.T) {
+	want, paper, ours := CounterexampleAnswers()
+	if want != 10 {
+		t.Fatalf("ground truth should be 10, got %d", want)
+	}
+	if paper != 20 {
+		t.Fatalf("the published construction should double-count to 20, got %d", paper)
+	}
+	if ours != 10 {
+		t.Fatalf("our rewriting should be exact, got %d", ours)
+	}
+}
+
+func TestMultiViewCompleteness(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		found, equal, orderFree := RunMultiView(k)
+		if found != (1<<k)-1 {
+			t.Errorf("k=%d: found %d rewritings, want %d", k, found, (1<<k)-1)
+		}
+		if !equal {
+			t.Errorf("k=%d: a rewriting was not equivalent", k)
+		}
+		if !orderFree {
+			t.Errorf("k=%d: view order changed the result set", k)
+		}
+	}
+}
+
+func TestKeysCases(t *testing.T) {
+	if found, _ := RunKeysCase(false); found != 0 {
+		t.Errorf("without keys: found %d rewritings, want 0", found)
+	}
+	found, verified := RunKeysCase(true)
+	if found == 0 || verified != "yes" {
+		t.Errorf("with keys: found=%d verified=%s", found, verified)
+	}
+}
+
+func TestNegativeCasesAllZero(t *testing.T) {
+	for _, c := range NegativeCases() {
+		if c.Found != 0 {
+			t.Errorf("%s (Sec. %s): found %d rewritings, want 0", c.Name, c.Section, c.Found)
+		}
+	}
+}
+
+func TestHavingAblation(t *testing.T) {
+	for _, c := range HavingCases() {
+		if c.With == 0 {
+			t.Errorf("%s: pre-processing should enable the rewriting", c.Name)
+		}
+		if c.Without >= c.With {
+			t.Errorf("%s: ablation should weaken detection (with=%d without=%d)", c.Name, c.With, c.Without)
+		}
+	}
+}
+
+func TestSpeedupDirections(t *testing.T) {
+	// Quick sanity that the performance experiments point the right way.
+	s := telcoSystem(5000)
+	direct, rewritten, v1 := RunTelco(s)
+	if v1 == 0 || rewritten >= direct {
+		t.Errorf("telco: direct=%v rewritten=%v |V1|=%d", direct, rewritten, v1)
+	}
+	cs := coalesceSystem(20000, 16)
+	d2, r2, vRows, equal := RunCoalesce(cs)
+	if !equal || r2 >= d2 || vRows == 0 {
+		t.Errorf("coalesce: direct=%v rewritten=%v equal=%v", d2, r2, equal)
+	}
+	ms := multSystem(20000)
+	d3, r3, eq3 := RunMultiplicity(ms)
+	if !eq3 || r3 >= d3 {
+		t.Errorf("multiplicity: direct=%v rewritten=%v equal=%v", d3, r3, eq3)
+	}
+	cjs := conjSystem(5000)
+	_, _, _, eq4 := RunConjView(cjs)
+	if !eq4 {
+		t.Error("conjunctive-view rewriting not equivalent")
+	}
+}
+
+func TestClosureScaling(t *testing.T) {
+	closeT, impliesT, atoms, vars := RunClosure(16)
+	if atoms <= 0 || vars <= 0 {
+		t.Error("closure should produce atoms")
+	}
+	if closeT <= 0 || impliesT < 0 {
+		t.Error("timings must be measured")
+	}
+}
+
+func TestSearchCost(t *testing.T) {
+	elapsed, found := RunSearchCost(2, 8)
+	if found == 0 {
+		t.Error("search should find rewritings")
+	}
+	if elapsed <= 0 {
+		t.Error("search time must be measured")
+	}
+}
+
+func TestMaintenanceExperiment(t *testing.T) {
+	incr, reco, consistent := RunMaintenance(5000, 8, 50)
+	if !consistent {
+		t.Fatal("incremental maintenance diverged from recomputation")
+	}
+	if incr >= reco {
+		t.Errorf("incremental (%v) should beat recompute (%v)", incr, reco)
+	}
+}
+
+func TestAdvisorExperiment(t *testing.T) {
+	nViews, viewRows, _, _, equal := RunAdvisor(5000)
+	if nViews == 0 {
+		t.Fatal("advisor should recommend at least one view")
+	}
+	if viewRows <= 0 {
+		t.Error("recommended views should have rows")
+	}
+	if !equal {
+		t.Error("answers changed after adopting recommendations")
+	}
+}
+
+func TestBaselineCorpus(t *testing.T) {
+	cases := BaselineCases()
+	baseHits, ourHits := 0, 0
+	for _, c := range cases {
+		if !c.Rewriter {
+			t.Errorf("%s: the rewriter must accept every corpus case", c.Name)
+		}
+		if c.Baseline {
+			baseHits++
+		}
+		if c.Rewriter {
+			ourHits++
+		}
+	}
+	if baseHits >= ourHits {
+		t.Errorf("baseline should strictly under-approximate: %d vs %d", baseHits, ourHits)
+	}
+	if cases[0].Baseline {
+		t.Error("the syntactic baseline must miss Example 1.1 (the paper's Section 6 point)")
+	}
+}

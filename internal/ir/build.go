@@ -1,0 +1,407 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/sqlparser"
+)
+
+// SchemaSource resolves a FROM-clause name (base table or view) to its
+// ordered column names. Implementations: the catalog adapter and the
+// view registry.
+type SchemaSource interface {
+	ColumnsOf(name string) ([]string, bool)
+}
+
+// MultiSource tries several schema sources in order.
+type MultiSource []SchemaSource
+
+// ColumnsOf implements SchemaSource.
+func (m MultiSource) ColumnsOf(name string) ([]string, bool) {
+	for _, s := range m {
+		if cols, ok := s.ColumnsOf(name); ok {
+			return cols, true
+		}
+	}
+	return nil, false
+}
+
+// MapSource is a SchemaSource backed by a plain map (case-insensitive).
+type MapSource map[string][]string
+
+// ColumnsOf implements SchemaSource.
+func (m MapSource) ColumnsOf(name string) ([]string, bool) {
+	for k, v := range m {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// builder resolves AST names against the query under construction.
+type builder struct {
+	q *Query
+	// byAlias maps a range variable or (unambiguous) table name to a
+	// table index; ambiguous names map to -1.
+	byAlias map[string]int
+	// byAttr maps an attribute name to the ColID, or -1 when ambiguous.
+	byAttr map[string]ColID
+}
+
+// Build converts a parsed SELECT into the canonical form, resolving
+// table and column names through src. It enforces the paper's
+// well-formedness rules: WHERE predicates compare columns and constants
+// only; in a grouped query every bare SELECT or HAVING column must be a
+// grouping column. Derived tables (FROM subqueries) are rejected here;
+// use BuildMulti for multi-block queries.
+func Build(sel *sqlparser.Select, src SchemaSource) (*Query, error) {
+	q, anon, err := BuildMulti(sel, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(anon.All()) > 0 {
+		return nil, fmt.Errorf("ir: derived tables in FROM require BuildMulti")
+	}
+	return q, nil
+}
+
+// BuildMulti converts a parsed SELECT that may contain derived tables
+// (FROM (SELECT ...) x) into canonical form. Each subquery is hoisted
+// into an anonymous view definition; the returned registry holds those
+// definitions, which evaluators and flatteners must be given alongside
+// the query.
+func BuildMulti(sel *sqlparser.Select, src SchemaSource) (*Query, *Registry, error) {
+	anon := NewRegistry()
+	counter := 0
+	q, err := buildInto(sel, src, anon, &counter)
+	return q, anon, err
+}
+
+func buildInto(sel *sqlparser.Select, src SchemaSource, anon *Registry, counter *int) (*Query, error) {
+	b := &builder{q: &Query{}, byAlias: map[string]int{}, byAttr: map[string]ColID{}}
+	b.q.Distinct = sel.Distinct
+
+	for _, tr := range sel.From {
+		source := tr.Table
+		var attrs []string
+		if tr.Subquery != nil {
+			subQ, err := buildInto(tr.Subquery, MultiSource{src, anon}, anon, counter)
+			if err != nil {
+				return nil, err
+			}
+			*counter++
+			source = fmt.Sprintf("subq_%d", *counter)
+			v, err := NewViewDef(source, subQ)
+			if err != nil {
+				return nil, err
+			}
+			if err := anon.Add(v); err != nil {
+				return nil, err
+			}
+			attrs = v.OutCols
+		} else {
+			var ok bool
+			attrs, ok = src.ColumnsOf(tr.Table)
+			if !ok {
+				return nil, fmt.Errorf("ir: unknown table or view %q", tr.Table)
+			}
+		}
+		idx := b.q.AddTable(source, tr.Alias, attrs)
+		name := tr.Alias
+		if name == "" {
+			name = source
+		}
+		b.register(name, idx)
+		if tr.Alias != "" && tr.Subquery == nil {
+			// A table referenced through an alias may still be qualified
+			// by its table name if that is unambiguous.
+			b.register(tr.Table, idx)
+		}
+	}
+
+	for _, it := range sel.Items {
+		e, err := b.expr(it.Expr, false)
+		if err != nil {
+			return nil, err
+		}
+		b.q.Select = append(b.q.Select, SelectItem{Expr: e, Alias: it.Alias})
+	}
+
+	for _, c := range sqlparser.Conjuncts(sel.Where) {
+		p, err := b.wherePred(c)
+		if err != nil {
+			return nil, err
+		}
+		b.q.Where = append(b.q.Where, p)
+	}
+
+	for _, g := range sel.GroupBy {
+		id, err := b.column(g)
+		if err != nil {
+			return nil, err
+		}
+		b.q.GroupBy = append(b.q.GroupBy, id)
+	}
+
+	for _, c := range sqlparser.Conjuncts(sel.Having) {
+		cmp, ok := c.(*sqlparser.BinExpr)
+		if !ok || !sqlparser.IsComparison(cmp.Op) {
+			return nil, fmt.Errorf("ir: HAVING conjunct %s is not a comparison", c.SQL())
+		}
+		l, err := b.expr(cmp.L, true)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(cmp.R, true)
+		if err != nil {
+			return nil, err
+		}
+		b.q.Having = append(b.q.Having, HPred{Op: convOp(cmp.Op), L: l, R: r})
+	}
+
+	if err := validate(b.q); err != nil {
+		return nil, err
+	}
+	return b.q, nil
+}
+
+func (b *builder) register(name string, idx int) {
+	key := strings.ToLower(name)
+	if prev, ok := b.byAlias[key]; ok && prev != idx {
+		b.byAlias[key] = -1 // ambiguous
+	} else {
+		b.byAlias[key] = idx
+	}
+	for _, id := range b.q.Tables[idx].Cols {
+		attr := strings.ToLower(b.q.Col(id).Attr)
+		if prev, ok := b.byAttr[attr]; ok && prev != id {
+			b.byAttr[attr] = -1
+		} else {
+			b.byAttr[attr] = id
+		}
+	}
+}
+
+// column resolves a column reference to a ColID.
+func (b *builder) column(c *sqlparser.ColumnRef) (ColID, error) {
+	if c.Qualifier != "" {
+		idx, ok := b.byAlias[strings.ToLower(c.Qualifier)]
+		if !ok {
+			return 0, fmt.Errorf("ir: unknown table or alias %q in %s", c.Qualifier, c.SQL())
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("ir: ambiguous qualifier %q in %s", c.Qualifier, c.SQL())
+		}
+		for _, id := range b.q.Tables[idx].Cols {
+			if strings.EqualFold(b.q.Col(id).Attr, c.Name) {
+				return id, nil
+			}
+		}
+		return 0, fmt.Errorf("ir: table %q has no column %q", c.Qualifier, c.Name)
+	}
+	id, ok := b.byAttr[strings.ToLower(c.Name)]
+	if !ok {
+		return 0, fmt.Errorf("ir: unknown column %q", c.Name)
+	}
+	if id < 0 {
+		return 0, fmt.Errorf("ir: ambiguous column %q; qualify it with a table name or alias", c.Name)
+	}
+	return id, nil
+}
+
+// expr converts an AST expression. Aggregates are allowed only when
+// inHaving is true or the expression is a SELECT item (callers pass
+// false for SELECT; aggregates are still permitted there — the flag only
+// forbids nested aggregates).
+func (b *builder) expr(e sqlparser.Expr, _ bool) (Expr, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		id, err := b.column(x)
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Col: id}, nil
+	case *sqlparser.Lit:
+		return &Const{Val: x.Val}, nil
+	case *sqlparser.AggExpr:
+		fn, err := convAgg(x.Func)
+		if err != nil {
+			return nil, err
+		}
+		if x.Star {
+			// COUNT(*): with no NULLs in the data model, counting rows
+			// equals counting any column; normalize to COUNT over the
+			// first column in scope so the rewriter sees a plain column.
+			if len(b.q.Columns) == 0 {
+				return nil, fmt.Errorf("ir: COUNT(*) with empty FROM scope")
+			}
+			return &Agg{Func: fn, Arg: &ColRef{Col: 0}}, nil
+		}
+		arg, err := b.expr(x.Arg, false)
+		if err != nil {
+			return nil, err
+		}
+		if ExprHasAgg(arg) {
+			return nil, fmt.Errorf("ir: nested aggregate in %s", e.SQL())
+		}
+		return &Agg{Func: fn, Arg: arg}, nil
+	case *sqlparser.BinExpr:
+		var op ArithOp
+		switch x.Op {
+		case sqlparser.OpAdd:
+			op = ArithAdd
+		case sqlparser.OpSub:
+			op = ArithSub
+		case sqlparser.OpMul:
+			op = ArithMul
+		case sqlparser.OpDiv:
+			op = ArithDiv
+		default:
+			return nil, fmt.Errorf("ir: operator %s not valid in a scalar expression", x.Op)
+		}
+		l, err := b.expr(x.L, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(x.R, false)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("ir: unsupported expression %T", e)
+	}
+}
+
+// wherePred converts one WHERE conjunct; both sides must be columns or
+// constants (the paper's predicate language).
+func (b *builder) wherePred(e sqlparser.Expr) (Pred, error) {
+	cmp, ok := e.(*sqlparser.BinExpr)
+	if !ok || !sqlparser.IsComparison(cmp.Op) {
+		return Pred{}, fmt.Errorf("ir: WHERE conjunct %s is not a comparison", e.SQL())
+	}
+	l, err := b.whereTerm(cmp.L)
+	if err != nil {
+		return Pred{}, err
+	}
+	r, err := b.whereTerm(cmp.R)
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Op: convOp(cmp.Op), L: l, R: r}, nil
+}
+
+func (b *builder) whereTerm(e sqlparser.Expr) (Term, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		id, err := b.column(x)
+		if err != nil {
+			return Term{}, err
+		}
+		return ColTerm(id), nil
+	case *sqlparser.Lit:
+		return ConstTerm(x.Val), nil
+	default:
+		return Term{}, fmt.Errorf("ir: WHERE terms must be columns or constants, found %s", e.SQL())
+	}
+}
+
+func convOp(op sqlparser.BinOp) Op {
+	switch op {
+	case sqlparser.OpEq:
+		return OpEq
+	case sqlparser.OpNeq:
+		return OpNeq
+	case sqlparser.OpLt:
+		return OpLt
+	case sqlparser.OpLeq:
+		return OpLeq
+	case sqlparser.OpGt:
+		return OpGt
+	case sqlparser.OpGeq:
+		return OpGeq
+	default:
+		panic("ir: not a comparison: " + string(op))
+	}
+}
+
+func convAgg(f sqlparser.AggFunc) (AggFunc, error) {
+	switch f {
+	case sqlparser.AggMin:
+		return AggMin, nil
+	case sqlparser.AggMax:
+		return AggMax, nil
+	case sqlparser.AggSum:
+		return AggSum, nil
+	case sqlparser.AggCount:
+		return AggCount, nil
+	case sqlparser.AggAvg:
+		return AggAvg, nil
+	default:
+		return 0, fmt.Errorf("ir: unknown aggregate %q", f)
+	}
+}
+
+// validate enforces SQL's grouping rules on the built query.
+func validate(q *Query) error {
+	grouped := q.IsAggregationQuery()
+	if !grouped {
+		return nil
+	}
+	inGroup := map[ColID]bool{}
+	for _, g := range q.GroupBy {
+		inGroup[g] = true
+	}
+	check := func(e Expr, clause string) error {
+		var err error
+		var walk func(e Expr, inAgg bool)
+		walk = func(e Expr, inAgg bool) {
+			switch x := e.(type) {
+			case *ColRef:
+				if !inAgg && !inGroup[x.Col] {
+					err = fmt.Errorf("ir: column %s appears in %s but not in GROUP BY",
+						q.Col(x.Col).Name, clause)
+				}
+			case *Agg:
+				if x.Arg != nil {
+					walk(x.Arg, true)
+				}
+			case *Arith:
+				walk(x.L, inAgg)
+				walk(x.R, inAgg)
+			}
+		}
+		walk(e, false)
+		return err
+	}
+	for _, it := range q.Select {
+		if err := check(it.Expr, "SELECT"); err != nil {
+			return err
+		}
+	}
+	for _, h := range q.Having {
+		if err := check(h.L, "HAVING"); err != nil {
+			return err
+		}
+		if err := check(h.R, "HAVING"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustBuild parses and builds a query, panicking on error; a test and
+// example helper.
+func MustBuild(sql string, src SchemaSource) *Query {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	q, err := Build(sel, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

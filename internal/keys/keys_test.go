@@ -1,0 +1,218 @@
+package keys
+
+import (
+	"testing"
+
+	"aggview/internal/ir"
+	"aggview/internal/schema"
+)
+
+// cat builds the telco catalog plus the keyed R1 of Example 5.1.
+func cat(t *testing.T) *schema.Catalog {
+	t.Helper()
+	c := schema.NewCatalog()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddTable(&schema.Table{
+		Name:    "Calls",
+		Columns: []string{"Call_Id", "Cust_Id", "Plan_Id", "Year", "Charge"},
+		Keys:    [][]string{{"Call_Id"}},
+	}))
+	must(c.AddTable(&schema.Table{
+		Name:    "Calling_Plans",
+		Columns: []string{"Plan_Id", "Plan_Name"},
+		Keys:    [][]string{{"Plan_Id"}},
+	}))
+	must(c.AddTable(&schema.Table{
+		Name:    "R1",
+		Columns: []string{"A", "B", "C"},
+		Keys:    [][]string{{"A"}},
+	}))
+	must(c.AddTable(&schema.Table{
+		Name:    "Bag",
+		Columns: []string{"X", "Y"},
+	}))
+	must(c.AddTable(&schema.Table{
+		Name:    "FDT",
+		Columns: []string{"P", "Q", "R"},
+		Keys:    [][]string{{"Q"}},
+		FDs:     []schema.FD{{From: []string{"P"}, To: []string{"Q"}}},
+	}))
+	return c
+}
+
+func metaAndSrc(t *testing.T) (MetaSource, ir.SchemaSource) {
+	c := cat(t)
+	return CatalogMeta{Catalog: c}, c
+}
+
+func q(t *testing.T, sql string, src ir.SchemaSource) *ir.Query {
+	t.Helper()
+	return ir.MustBuild(sql, src)
+}
+
+func TestDistinctIsSet(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	if !IsSetResult(q(t, "SELECT DISTINCT X FROM Bag", src), meta) {
+		t.Error("DISTINCT results are sets")
+	}
+}
+
+func TestKeyRetainedIsSet(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	if !IsSetResult(q(t, "SELECT Call_Id, Charge FROM Calls", src), meta) {
+		t.Error("retaining the key yields a set")
+	}
+	if IsSetResult(q(t, "SELECT Charge FROM Calls", src), meta) {
+		t.Error("projecting the key away may duplicate")
+	}
+	if IsSetResult(q(t, "SELECT X FROM Bag", src), meta) {
+		t.Error("keyless tables are multisets (Prop 5.2)")
+	}
+}
+
+func TestConstantPinStandsForKey(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// Call_Id pinned to a constant: at most one row, so any projection is
+	// a set... but only because the pinned key column is in the closure.
+	if !IsSetResult(q(t, "SELECT Charge FROM Calls WHERE Call_Id = 7", src), meta) {
+		t.Error("pinned key should make the result a set")
+	}
+}
+
+func TestForeignKeyJoin(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// Foreign-key join: Calls.Plan_Id = Calling_Plans.Plan_Id. The key of
+	// the leading table suffices (paper Section 5.1).
+	sql := "SELECT Call_Id, Plan_Name FROM Calls, Calling_Plans WHERE Calls.Plan_Id = Calling_Plans.Plan_Id"
+	if !IsSetResult(q(t, sql, src), meta) {
+		t.Error("FK join keyed by the leading table's key")
+	}
+	// Without the join predicate the pair of keys is needed.
+	sql2 := "SELECT Call_Id, Plan_Name FROM Calls, Calling_Plans"
+	if IsSetResult(q(t, sql2, src), meta) {
+		t.Error("cross product needs both keys retained")
+	}
+	sql3 := "SELECT Call_Id, Calling_Plans.Plan_Id FROM Calls, Calling_Plans"
+	if !IsSetResult(q(t, sql3, src), meta) {
+		t.Error("both keys retained: set")
+	}
+}
+
+func TestFDDerivedKey(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// P -> Q and Q is a key, so P determines the row.
+	if !IsSetResult(q(t, "SELECT P FROM FDT", src), meta) {
+		t.Error("FD-derived key not recognized")
+	}
+	if IsSetResult(q(t, "SELECT R FROM FDT", src), meta) {
+		t.Error("R is not a key")
+	}
+}
+
+func TestWhereEqualityExtendsClosure(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// B = A makes B determine A (the key).
+	if !IsSetResult(q(t, "SELECT B FROM R1 WHERE B = A", src), meta) {
+		t.Error("WHERE equality should extend the closure to the key")
+	}
+}
+
+func TestGroupedQuerySetness(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	if !IsSetResult(q(t, "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id", src), meta) {
+		t.Error("grouped query retaining groups is a set")
+	}
+	if IsSetResult(q(t, "SELECT SUM(Charge) FROM Calls GROUP BY Plan_Id", src), meta) {
+		t.Error("projecting grouping columns away may duplicate")
+	}
+	if !IsSetResult(q(t, "SELECT SUM(Charge) FROM Calls", src), meta) {
+		t.Error("global aggregate yields a single row")
+	}
+}
+
+func TestExample51(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// Example 5.1: Q and V1 over R1(A,B,C) with key A.
+	query := q(t, "SELECT A FROM R1 WHERE B = C", src)
+	if !IsSetResult(query, meta) {
+		t.Error("Q of Example 5.1 is a set")
+	}
+	v1 := q(t, "SELECT r.A, s.A FROM R1 r, R1 s WHERE r.B = s.C", src)
+	if !IsSetResult(v1, meta) {
+		t.Error("V1 of Example 5.1 is a set")
+	}
+}
+
+func TestViewMetaKeys(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	reg := ir.NewRegistry()
+	vq := q(t, "SELECT Plan_Id, SUM(Charge) FROM Calls GROUP BY Plan_Id", src)
+	v, err := ir.NewViewDef("V1", vq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	vm := ViewMeta{Base: meta, Views: reg}
+	ks := vm.KeysOf("V1")
+	if len(ks) != 1 || len(ks[0]) != 1 || ks[0][0] != "Plan_Id" {
+		t.Errorf("view keys: %v", ks)
+	}
+	if ks := vm.KeysOf("Calls"); len(ks) != 1 {
+		t.Errorf("base keys must pass through: %v", ks)
+	}
+	if ks := vm.KeysOf("Nope"); ks != nil {
+		t.Errorf("unknown source: %v", ks)
+	}
+	if fds := vm.FDsOf("FDT"); len(fds) != 1 {
+		t.Errorf("FDs pass through: %v", fds)
+	}
+
+	// A query over the keyed view is itself a set when it keeps the key.
+	full := ir.MultiSource{src, reg}
+	q2 := ir.MustBuild("SELECT Plan_Id, sum_Charge FROM V1", full)
+	if !IsSetResult(q2, vm) {
+		t.Error("query over keyed view should be a set")
+	}
+}
+
+func TestResultKeys(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// Conjunctive set query: retained columns form the key.
+	kq := q(t, "SELECT Call_Id, Charge FROM Calls", src)
+	ks := ResultKeys(kq, ir.OutputNames(kq), meta)
+	if len(ks) != 1 || len(ks[0]) != 2 {
+		t.Errorf("ResultKeys conjunctive: %v", ks)
+	}
+	// Multiset query has no keys.
+	mq := q(t, "SELECT Charge FROM Calls", src)
+	if ResultKeys(mq, ir.OutputNames(mq), meta) != nil {
+		t.Error("multiset query should have no result keys")
+	}
+	// Global aggregate: single row.
+	gq := q(t, "SELECT SUM(Charge) FROM Calls", src)
+	if ks := ResultKeys(gq, ir.OutputNames(gq), meta); len(ks) != 1 {
+		t.Errorf("global aggregate keys: %v", ks)
+	}
+	// Grouped without retaining groups: none.
+	ng := q(t, "SELECT SUM(Charge) FROM Calls GROUP BY Plan_Id", src)
+	if ResultKeys(ng, ir.OutputNames(ng), meta) != nil {
+		t.Error("unretained groups: no keys")
+	}
+}
+
+func TestSelectNoColumnsNotSet(t *testing.T) {
+	meta, src := metaAndSrc(t)
+	// Only aggregates of constants... simplest: SELECT with no bare
+	// columns in a conjunctive query (constant select).
+	cq := q(t, "SELECT 1 FROM Calls", src)
+	if IsSetResult(cq, meta) {
+		t.Error("constant projection over a multi-row table duplicates")
+	}
+}

@@ -1,0 +1,297 @@
+// Package maintain keeps materialized aggregation views consistent
+// under base-table inserts. The paper treats view maintenance as
+// orthogonal ([BLT86, GMS93]) but its motivating scenarios — warehouse
+// summary tables, chronicle ledgers — assume somebody maintains the
+// materializations; this package is that somebody for the append-only
+// case.
+//
+// A tracked view's delta under an insertion into one base table is the
+// view's definition evaluated with that table replaced by the inserted
+// rows (joins are bilinear in their inputs, so this is exact when the
+// table occurs once in the FROM clause). Delta groups merge into the
+// materialization: SUM and COUNT add, MIN and MAX combine — all
+// insert-monotone. Views outside the incrementally maintainable class
+// (AVG outputs, HAVING, DISTINCT, self-joins over the changed table)
+// fall back to full recomputation, so Insert is always correct.
+package maintain
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview/internal/engine"
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// Maintainer propagates base-table inserts to tracked materializations.
+type Maintainer struct {
+	db    *engine.DB
+	views *ir.Registry
+
+	tracked map[string]*state
+}
+
+// state is one tracked view's materialization index.
+type state struct {
+	def *ir.ViewDef
+	// incremental is false when the view needs full recomputation on
+	// every change.
+	incremental bool
+	// groupPos lists the select positions holding grouping columns;
+	// aggPos the positions holding mergeable aggregates.
+	groupPos []int
+	aggs     []aggOut
+	// rel is the materialization stored in the DB; index maps a group
+	// key to its tuple position in rel.
+	rel   *engine.Relation
+	index map[string]int
+}
+
+type aggOut struct {
+	pos int
+	fn  ir.AggFunc
+}
+
+// New builds a maintainer over a database and view registry.
+func New(db *engine.DB, views *ir.Registry) *Maintainer {
+	return &Maintainer{db: db, views: views, tracked: map[string]*state{}}
+}
+
+// Track materializes the named view (if needed) and begins maintaining
+// it. It reports whether maintenance is incremental or recompute-based.
+func (m *Maintainer) Track(name string) (incremental bool, err error) {
+	v, ok := m.views.Get(name)
+	if !ok {
+		return false, fmt.Errorf("maintain: unknown view %q", name)
+	}
+	st := &state{def: v}
+	st.incremental = classify(v.Def, st)
+	rel, err := engine.NewEvaluator(m.db, m.views).Exec(v.Def)
+	if err != nil {
+		return false, err
+	}
+	rel.Attrs = append([]string{}, v.OutCols...)
+	m.db.Put(v.Name, rel)
+	st.rel = rel
+	if st.incremental {
+		st.buildIndex()
+	}
+	m.tracked[strings.ToLower(name)] = st
+	return st.incremental, nil
+}
+
+// classify decides whether the view is incrementally maintainable and
+// fills the select-position metadata.
+func classify(def *ir.Query, st *state) bool {
+	if def.Distinct || len(def.Having) > 0 || !def.IsAggregationQuery() {
+		// Conjunctive views would need multiset appends of the delta —
+		// expressible, but the engine stores views as plain relations, so
+		// append-only conjunctive views are handled below via deltas too.
+		// Distinct/HAVING views are not insert-monotone.
+		if def.Distinct || len(def.Having) > 0 {
+			return false
+		}
+	}
+	group := map[ir.ColID]bool{}
+	for _, g := range def.GroupBy {
+		group[g] = true
+	}
+	for pos, it := range def.Select {
+		switch x := it.Expr.(type) {
+		case *ir.ColRef:
+			if !group[x.Col] && def.IsAggregationQuery() {
+				return false
+			}
+			st.groupPos = append(st.groupPos, pos)
+		case *ir.Agg:
+			if x.Star {
+				st.aggs = append(st.aggs, aggOut{pos: pos, fn: ir.AggCount})
+				continue
+			}
+			switch x.Func {
+			case ir.AggSum, ir.AggCount, ir.AggMin, ir.AggMax:
+				st.aggs = append(st.aggs, aggOut{pos: pos, fn: x.Func})
+			default:
+				return false // AVG is not mergeable without auxiliary state
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (st *state) buildIndex() {
+	st.index = make(map[string]int, len(st.rel.Tuples))
+	for i, t := range st.rel.Tuples {
+		st.index[st.groupKey(t)] = i
+	}
+}
+
+func (st *state) groupKey(tuple []value.Value) string {
+	key := ""
+	for _, p := range st.groupPos {
+		key += tuple[p].Key() + "\x00"
+	}
+	return key
+}
+
+// Insert appends rows to a base table and updates every tracked view
+// that depends on it.
+func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
+	rel, ok := m.db.Get(table)
+	if !ok {
+		return fmt.Errorf("maintain: unknown table %q", table)
+	}
+	for _, r := range rows {
+		if len(r) != len(rel.Attrs) {
+			return fmt.Errorf("maintain: arity mismatch inserting into %s", table)
+		}
+	}
+	// Delta relation before the base table changes (the definition's
+	// other occurrences must see the OLD state plus cross terms; with a
+	// single occurrence, old-vs-new does not matter for the other
+	// tables).
+	delta := &engine.Relation{Attrs: append([]string{}, rel.Attrs...), Tuples: rows}
+
+	for _, st := range m.tracked {
+		occurrences := 0
+		for _, t := range st.def.Def.Tables {
+			if strings.EqualFold(t.Source, table) {
+				occurrences++
+			}
+		}
+		if occurrences == 0 {
+			continue
+		}
+		if !st.incremental || occurrences > 1 {
+			// Self-join over the changed table: the delta has cross
+			// terms; recompute after the base insert lands.
+			defer func(st *state) {
+				_ = st // recomputed below, after the base rows are added
+			}(st)
+			continue
+		}
+		if err := m.applyDelta(st, table, delta); err != nil {
+			return err
+		}
+	}
+
+	rel.Tuples = append(rel.Tuples, rows...)
+
+	// Recompute the non-incremental dependents now that the base table
+	// includes the new rows.
+	for _, st := range m.tracked {
+		occurrences := 0
+		for _, t := range st.def.Def.Tables {
+			if strings.EqualFold(t.Source, table) {
+				occurrences++
+			}
+		}
+		if occurrences == 0 || (st.incremental && occurrences == 1) {
+			continue
+		}
+		if err := m.recompute(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDelta evaluates the view definition with the changed table
+// replaced by the delta rows and merges the result into the
+// materialization.
+func (m *Maintainer) applyDelta(st *state, table string, delta *engine.Relation) error {
+	// Shadow DB: same relations, with `table` bound to the delta.
+	shadow := engine.NewDB()
+	for _, t := range st.def.Def.Tables {
+		if strings.EqualFold(t.Source, table) {
+			shadow.Put(t.Source, delta)
+			continue
+		}
+		if rel, ok := m.db.Get(t.Source); ok {
+			shadow.Put(t.Source, rel)
+		}
+	}
+	deltaRes, err := engine.NewEvaluator(shadow, m.views).Exec(st.def.Def)
+	if err != nil {
+		return err
+	}
+	if !st.def.Def.IsAggregationQuery() {
+		// Conjunctive view: the delta rows simply append.
+		st.rel.Tuples = append(st.rel.Tuples, deltaRes.Tuples...)
+		return nil
+	}
+	for _, row := range deltaRes.Tuples {
+		key := st.groupKey(row)
+		idx, ok := st.index[key]
+		if !ok {
+			tuple := append([]value.Value{}, row...)
+			st.index[key] = len(st.rel.Tuples)
+			st.rel.Tuples = append(st.rel.Tuples, tuple)
+			continue
+		}
+		old := st.rel.Tuples[idx]
+		for _, a := range st.aggs {
+			merged, err := mergeAgg(a.fn, old[a.pos], row[a.pos])
+			if err != nil {
+				return err
+			}
+			old[a.pos] = merged
+		}
+	}
+	return nil
+}
+
+func mergeAgg(fn ir.AggFunc, old, delta value.Value) (value.Value, error) {
+	switch fn {
+	case ir.AggSum, ir.AggCount:
+		return value.Add(old, delta)
+	case ir.AggMin:
+		if value.Compare(delta, old) < 0 {
+			return delta, nil
+		}
+		return old, nil
+	case ir.AggMax:
+		if value.Compare(delta, old) > 0 {
+			return delta, nil
+		}
+		return old, nil
+	default:
+		return value.Value{}, fmt.Errorf("maintain: aggregate %v is not mergeable", fn)
+	}
+}
+
+// recompute fully re-evaluates a tracked view.
+func (m *Maintainer) recompute(st *state) error {
+	rel, err := engine.NewEvaluator(m.db, m.views).Exec(st.def.Def)
+	if err != nil {
+		return err
+	}
+	st.rel.Attrs = append([]string{}, st.def.OutCols...)
+	st.rel.Tuples = rel.Tuples
+	if st.incremental {
+		st.buildIndex()
+	}
+	return nil
+}
+
+// Materialization returns the maintained relation of a tracked view.
+func (m *Maintainer) Materialization(name string) (*engine.Relation, bool) {
+	st, ok := m.tracked[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return st.rel, true
+}
+
+// IsIncremental reports whether a tracked view merges deltas (true) or
+// recomputes (false).
+func (m *Maintainer) IsIncremental(name string) (bool, bool) {
+	st, ok := m.tracked[strings.ToLower(name)]
+	if !ok {
+		return false, false
+	}
+	return st.incremental, true
+}

@@ -1,0 +1,252 @@
+package maintain
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggview/internal/engine"
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+func src() ir.MapSource {
+	return ir.MapSource{
+		"Txns":     {"Txn_Id", "Acct_Id", "Day", "Amount"},
+		"Accounts": {"Acct_Id", "Branch"},
+	}
+}
+
+func setup(t *testing.T, viewSQL string) (*Maintainer, *engine.DB, *ir.Registry) {
+	t.Helper()
+	db := engine.NewDB()
+	db.Put("Txns", engine.NewRelation("Txn_Id", "Acct_Id", "Day", "Amount"))
+	accounts := engine.NewRelation("Acct_Id", "Branch")
+	for a := int64(0); a < 6; a++ {
+		accounts.Add(value.Int(a), value.Int(a%2))
+	}
+	db.Put("Accounts", accounts)
+	reg := ir.NewRegistry()
+	v, err := ir.NewViewDef("V", ir.MustBuild(viewSQL, src()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	return New(db, reg), db, reg
+}
+
+// check verifies the maintained materialization equals a fresh
+// evaluation of the definition.
+func check(t *testing.T, m *Maintainer, db *engine.DB, reg *ir.Registry) {
+	t.Helper()
+	got, ok := m.Materialization("V")
+	if !ok {
+		t.Fatal("view not tracked")
+	}
+	v, _ := reg.Get("V")
+	want, err := engine.NewEvaluator(db, nil).Exec(v.Def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.MultisetEqual(got, want) {
+		t.Fatalf("maintained view diverged\nmaintained:\n%s\nrecomputed:\n%s", got.Sorted(), want.Sorted())
+	}
+}
+
+func txn(id, acct, day, amount int64) []value.Value {
+	return []value.Value{value.Int(id), value.Int(acct), value.Int(day), value.Int(amount)}
+}
+
+func TestIncrementalSumCountMinMax(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Acct_Id, SUM(Amount), COUNT(Amount), MIN(Amount), MAX(Amount) FROM Txns GROUP BY Acct_Id")
+	inc, err := m.Track("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc {
+		t.Fatal("SUM/COUNT/MIN/MAX view should be incremental")
+	}
+	rng := rand.New(rand.NewSource(3))
+	id := int64(0)
+	for batch := 0; batch < 10; batch++ {
+		var rows [][]value.Value
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			rows = append(rows, txn(id, int64(rng.Intn(4)), int64(1+rng.Intn(5)), int64(rng.Intn(100)-20)))
+			id++
+		}
+		if err := m.Insert("Txns", rows...); err != nil {
+			t.Fatal(err)
+		}
+		check(t, m, db, reg)
+	}
+}
+
+func TestIncrementalJoinView(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Branch, SUM(Amount), COUNT(Amount) FROM Txns, Accounts WHERE Txns.Acct_Id = Accounts.Acct_Id GROUP BY Branch")
+	inc, err := m.Track("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc {
+		t.Fatal("join view with mergeable aggregates should be incremental")
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := m.Insert("Txns", txn(i, i%6, 1, i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(t, m, db, reg)
+	// New groups appear when a new branch's account first transacts.
+	got, _ := m.Materialization("V")
+	if got.Len() != 2 {
+		t.Fatalf("expected 2 branch groups, got %d", got.Len())
+	}
+}
+
+func TestConjunctiveViewAppends(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Txn_Id, Amount FROM Txns WHERE Amount > 10")
+	inc, err := m.Track("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc {
+		t.Fatal("conjunctive view should maintain by appending deltas")
+	}
+	if err := m.Insert("Txns", txn(1, 0, 1, 5), txn(2, 0, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m, db, reg)
+	got, _ := m.Materialization("V")
+	if got.Len() != 1 {
+		t.Fatalf("only the >10 row should appear: %s", got)
+	}
+}
+
+func TestAvgFallsBackToRecompute(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Acct_Id, AVG(Amount) FROM Txns GROUP BY Acct_Id")
+	inc, err := m.Track("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc {
+		t.Fatal("AVG views cannot merge deltas")
+	}
+	if err := m.Insert("Txns", txn(1, 0, 1, 10), txn(2, 0, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m, db, reg)
+	got, _ := m.Materialization("V")
+	if got.Len() != 1 || got.Tuples[0][1].AsFloat() != 15 {
+		t.Fatalf("AVG recompute wrong: %s", got)
+	}
+}
+
+func TestHavingFallsBackToRecompute(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Acct_Id, COUNT(Amount) FROM Txns GROUP BY Acct_Id HAVING COUNT(Amount) > 1")
+	inc, err := m.Track("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc {
+		t.Fatal("HAVING views are not insert-monotone")
+	}
+	if err := m.Insert("Txns", txn(1, 0, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m, db, reg)
+	if err := m.Insert("Txns", txn(2, 0, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m, db, reg)
+	got, _ := m.Materialization("V")
+	if got.Len() != 1 {
+		t.Fatalf("group should appear once COUNT exceeds 1: %s", got)
+	}
+}
+
+func TestSelfJoinRecomputes(t *testing.T) {
+	m, db, reg := setup(t, "SELECT t.Acct_Id, COUNT(u.Amount) FROM Txns t, Txns u WHERE t.Acct_Id = u.Acct_Id GROUP BY t.Acct_Id")
+	if _, err := m.Track("V"); err != nil {
+		t.Fatal(err)
+	}
+	// The table occurs twice: deltas have cross terms, so the maintainer
+	// must recompute — and stay correct.
+	for i := int64(0); i < 6; i++ {
+		if err := m.Insert("Txns", txn(i, i%2, 1, 10)); err != nil {
+			t.Fatal(err)
+		}
+		check(t, m, db, reg)
+	}
+}
+
+func TestUntrackedTableUnaffected(t *testing.T) {
+	m, db, reg := setup(t, "SELECT Acct_Id, SUM(Amount) FROM Txns GROUP BY Acct_Id")
+	if _, err := m.Track("V"); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting into Accounts must not disturb the Txns-only view.
+	if err := m.Insert("Accounts", []value.Value{value.Int(99), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m, db, reg)
+}
+
+func TestErrors(t *testing.T) {
+	m, _, _ := setup(t, "SELECT Acct_Id, SUM(Amount) FROM Txns GROUP BY Acct_Id")
+	if _, err := m.Track("Nope"); err == nil {
+		t.Error("unknown view should fail")
+	}
+	if err := m.Insert("Nope", txn(1, 1, 1, 1)); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := m.Insert("Txns", []value.Value{value.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, ok := m.Materialization("V"); ok {
+		t.Error("untracked view should not report a materialization")
+	}
+	if _, ok := m.IsIncremental("V"); ok {
+		t.Error("untracked view should not report incrementality")
+	}
+}
+
+func TestIsIncremental(t *testing.T) {
+	m, _, _ := setup(t, "SELECT Acct_Id, SUM(Amount) FROM Txns GROUP BY Acct_Id")
+	if _, err := m.Track("V"); err != nil {
+		t.Fatal(err)
+	}
+	inc, ok := m.IsIncremental("V")
+	if !ok || !inc {
+		t.Error("tracked SUM view should be incremental")
+	}
+}
+
+// Long randomized soak: interleave inserts into both tables across
+// several tracked shapes and compare against recomputation at each step.
+func TestRandomizedSoak(t *testing.T) {
+	shapes := []string{
+		"SELECT Acct_Id, Day, SUM(Amount), COUNT(Amount) FROM Txns GROUP BY Acct_Id, Day",
+		"SELECT Branch, MIN(Amount), MAX(Amount), COUNT(Amount) FROM Txns, Accounts WHERE Txns.Acct_Id = Accounts.Acct_Id GROUP BY Branch",
+		"SELECT Day, COUNT(Txn_Id) FROM Txns WHERE Amount > 0 GROUP BY Day",
+	}
+	for _, sql := range shapes {
+		m, db, reg := setup(t, sql)
+		if _, err := m.Track("V"); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for step := int64(0); step < 40; step++ {
+			if rng.Intn(5) == 0 {
+				if err := m.Insert("Accounts", []value.Value{value.Int(100 + step), value.Int(step % 3)}); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := m.Insert("Txns", txn(step, int64(rng.Intn(6)), int64(1+rng.Intn(3)), int64(rng.Intn(60)-10))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check(t, m, db, reg)
+		}
+	}
+}

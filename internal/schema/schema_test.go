@@ -1,0 +1,182 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func telco(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddTable(&Table{
+		Name:    "Customer",
+		Columns: []string{"Cust_Id", "Cust_Name", "Area_Code", "Phone_Number"},
+		Keys:    [][]string{{"Cust_Id"}},
+	}))
+	must(c.AddTable(&Table{
+		Name:    "Calling_Plans",
+		Columns: []string{"Plan_Id", "Plan_Name"},
+		Keys:    [][]string{{"Plan_Id"}},
+	}))
+	must(c.AddTable(&Table{
+		Name:    "Calls",
+		Columns: []string{"Call_Id", "Cust_Id", "Plan_Id", "Day", "Month", "Year", "Charge"},
+		Keys:    [][]string{{"Call_Id"}},
+	}))
+	return c
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	c := telco(t)
+	if _, ok := c.Table("calls"); !ok {
+		t.Error("lower-case lookup failed")
+	}
+	if _, ok := c.Table("CALLS"); !ok {
+		t.Error("upper-case lookup failed")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Error("unknown table should not resolve")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	c := telco(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on unknown table should panic")
+		}
+	}()
+	c.MustTable("nope")
+}
+
+func TestAddTableValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		tbl  *Table
+	}{
+		{"empty name", &Table{Columns: []string{"A"}}},
+		{"no columns", &Table{Name: "T"}},
+		{"dup column", &Table{Name: "T", Columns: []string{"A", "a"}}},
+		{"empty key", &Table{Name: "T", Columns: []string{"A"}, Keys: [][]string{{}}}},
+		{"bad key col", &Table{Name: "T", Columns: []string{"A"}, Keys: [][]string{{"B"}}}},
+		{"degenerate fd", &Table{Name: "T", Columns: []string{"A"}, FDs: []FD{{From: nil, To: []string{"A"}}}}},
+		{"bad fd col", &Table{Name: "T", Columns: []string{"A"}, FDs: []FD{{From: []string{"A"}, To: []string{"B"}}}}},
+	}
+	for _, tc := range cases {
+		c := NewCatalog()
+		if err := c.AddTable(tc.tbl); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	c := NewCatalog()
+	if err := c.AddTable(&Table{Name: "T", Columns: []string{"A"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(&Table{Name: "t", Columns: []string{"A"}}); err == nil {
+		t.Error("duplicate table (case-insensitive) should fail")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	c := telco(t)
+	calls := c.MustTable("Calls")
+	if got := calls.ColumnIndex("plan_id"); got != 2 {
+		t.Errorf("ColumnIndex(plan_id) = %d, want 2", got)
+	}
+	if got := calls.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestIsKeyAndClosure(t *testing.T) {
+	c := telco(t)
+	calls := c.MustTable("Calls")
+	if !calls.IsKey([]string{"Call_Id"}) {
+		t.Error("Call_Id is a key")
+	}
+	if calls.IsKey([]string{"Cust_Id"}) {
+		t.Error("Cust_Id is not a key of Calls")
+	}
+	if !calls.IsKey([]string{"Call_Id", "Day"}) {
+		t.Error("supersets of keys are keys")
+	}
+}
+
+func TestFDDerivedKey(t *testing.T) {
+	// If A -> B and B is a key, then A is a key (paper Section 5.1).
+	c := NewCatalog()
+	err := c.AddTable(&Table{
+		Name:    "R",
+		Columns: []string{"A", "B", "C"},
+		Keys:    [][]string{{"B"}},
+		FDs:     []FD{{From: []string{"A"}, To: []string{"B"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.MustTable("R")
+	if !r.IsKey([]string{"A"}) {
+		t.Error("A functionally determines key B, so A is a key")
+	}
+	if r.IsKey([]string{"C"}) {
+		t.Error("C is not a key")
+	}
+}
+
+func TestHasKey(t *testing.T) {
+	c := telco(t)
+	if !c.MustTable("Calls").HasKey() {
+		t.Error("Calls has a key")
+	}
+	nk := NewCatalog()
+	if err := nk.AddTable(&Table{Name: "Bag", Columns: []string{"X"}}); err != nil {
+		t.Fatal(err)
+	}
+	if nk.MustTable("Bag").HasKey() {
+		t.Error("Bag has no key")
+	}
+}
+
+func TestTablesOrderAndString(t *testing.T) {
+	c := telco(t)
+	tabs := c.Tables()
+	if len(tabs) != 3 || tabs[0].Name != "Customer" || tabs[2].Name != "Calls" {
+		t.Errorf("Tables() should preserve registration order, got %v", tabs)
+	}
+	s := c.String()
+	for _, frag := range []string{"TABLE Calls(", "KEY(Call_Id)", "TABLE Customer("} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFDClosureTransitive(t *testing.T) {
+	c := NewCatalog()
+	err := c.AddTable(&Table{
+		Name:    "R",
+		Columns: []string{"A", "B", "C", "D"},
+		FDs: []FD{
+			{From: []string{"A"}, To: []string{"B"}},
+			{From: []string{"B"}, To: []string{"C"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.MustTable("R").FDClosure([]string{"A"})
+	for _, want := range []string{"a", "b", "c"} {
+		if !cl[want] {
+			t.Errorf("closure(A) missing %s", want)
+		}
+	}
+	if cl["d"] {
+		t.Error("closure(A) should not contain D")
+	}
+}

@@ -1,0 +1,57 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that anything it
+// accepts round-trips through its own printer. Run with
+// `go test -fuzz=FuzzParse ./internal/sqlparser` for continuous
+// fuzzing; plain `go test` exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT A FROM R",
+		"SELECT DISTINCT r.A AS x, SUM(B) FROM R r, S WHERE r.A = S.B AND B <> 'x' GROUP BY r.A HAVING SUM(B) > 1",
+		"SELECT COUNT(*) FROM T WHERE A BETWEEN 1 AND 2",
+		"SELECT Cnt * SUM(E) FROM (SELECT E, F FROM R) x GROUP BY Cnt",
+		"SELECT A FROM R WHERE A = 1.5 AND B = -3 AND C = TRUE",
+		"SELECT", "FROM", "((((", "'unterminated", "SELECT A FROM R WHERE",
+		"SELECT SUM(N * B) FROM V -- comment",
+		"\x00\x01", "SELECT A FROM R GROUPBY A",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sel, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := sel.SQL()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparseable SQL for %q:\n%s\n%v", src, printed, err)
+		}
+		if got := again.SQL(); got != printed {
+			t.Fatalf("round trip unstable:\n1: %s\n2: %s", printed, got)
+		}
+	})
+}
+
+// FuzzParseScript covers the statement-level grammar.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE T(A, B) KEY(A); CREATE VIEW V AS SELECT A FROM T; SELECT A FROM V",
+		"CREATE TABLE T(A) FD(A -> A)",
+		";;;",
+		"CREATE VIEW",
+		strings.Repeat("SELECT A FROM T;", 5),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseScript(src) // must not panic
+	})
+}

@@ -1,0 +1,576 @@
+package sqlparser
+
+import (
+	"fmt"
+
+	"aggview/internal/value"
+)
+
+// parser is a recursive-descent parser over a pre-lexed token slice.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a single SELECT query.
+func Parse(src string) (*Select, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.cur().kind == tokSemicolon {
+		p.i++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.unexpected("end of query")
+	}
+	return sel, nil
+}
+
+// ParseScript parses a sequence of statements separated by semicolons:
+// CREATE TABLE, CREATE VIEW and bare SELECT statements.
+func ParseScript(src string) ([]Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var stmts []Statement
+	for {
+		for p.cur().kind == tokSemicolon {
+			p.i++
+		}
+		if p.cur().kind == tokEOF {
+			return stmts, nil
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+		switch p.cur().kind {
+		case tokSemicolon, tokEOF:
+		default:
+			return nil, p.unexpected("';' between statements")
+		}
+	}
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) peek() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) unexpected(want string) error {
+	t := p.cur()
+	got := t.kind.String()
+	if t.kind == tokIdent || t.kind == tokKeyword || t.kind == tokNumber {
+		got = fmt.Sprintf("%q", t.text)
+	}
+	return fmt.Errorf("line %d: expected %s, found %s", t.line, want, got)
+}
+
+// accept consumes the current token if it is the given keyword.
+func (p *parser) accept(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes a required keyword.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.accept(kw) {
+		return p.unexpected("'" + kw + "'")
+	}
+	return nil
+}
+
+// expect consumes a required token kind and returns it.
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.unexpected(k.String())
+	}
+	t := p.cur()
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	if p.accept("CREATE") {
+		switch {
+		case p.accept("TABLE"):
+			return p.parseCreateTable()
+		case p.accept("VIEW"):
+			return p.parseCreateView()
+		default:
+			return nil, p.unexpected("'TABLE' or 'VIEW' after CREATE")
+		}
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryStatement{Query: sel}, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if p.cur().kind != tokComma {
+			return out, nil
+		}
+		p.i++
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	cols, err := p.parseIdentList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name, Columns: cols}
+	for {
+		switch {
+		case p.accept("KEY"):
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			key, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			ct.Keys = append(ct.Keys, key)
+		case p.accept("FD"):
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			from, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokMinus); err != nil {
+				return nil, p.unexpected("'->' in FD")
+			}
+			if _, err := p.expect(tokGt); err != nil {
+				return nil, p.unexpected("'->' in FD")
+			}
+			to, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			ct.FDs = append(ct.FDs, [2][]string{from, to})
+		default:
+			return ct, nil
+		}
+	}
+}
+
+func (p *parser) parseCreateView() (*CreateView, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateView{Name: name, Query: sel}, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	sel.Distinct = p.accept("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.i++
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.i++
+	}
+	if p.accept("WHERE") {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	if p.accept("GROUPBY") || (p.accept("GROUP") && true) {
+		// "GROUP" must be followed by "BY"; "GROUPBY" is accepted as one
+		// word to match the paper's typography.
+		if p.toks[p.i-1].text == "GROUP" {
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.i++
+		}
+	}
+	if p.accept("HAVING") {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = cond
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseAddExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.cur().kind == tokLParen {
+		p.i++
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return TableRef{}, err
+		}
+		ref := TableRef{Subquery: sub}
+		if p.accept("AS") {
+			alias, err := p.parseIdent()
+			if err != nil {
+				return TableRef{}, err
+			}
+			ref.Alias = alias
+		} else if p.cur().kind == tokIdent {
+			ref.Alias = p.cur().text
+			p.i++
+		}
+		if ref.Alias == "" {
+			return TableRef{}, p.unexpected("alias after derived table")
+		}
+		return ref, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		ref.Alias = p.cur().text
+		p.i++
+	}
+	return ref, nil
+}
+
+// parseCondition parses an AND-combined conjunction of comparisons.
+// Disjunction and negation are rejected with a clear message: the paper
+// (and hence this implementation) covers conjunctions only.
+func (p *parser) parseCondition() (Expr, error) {
+	var out Expr
+	for {
+		cmp, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = cmp
+		} else {
+			out = &BinExpr{Op: OpAnd, L: out, R: cmp}
+		}
+		if p.cur().kind == tokKeyword && (p.cur().text == "OR" || p.cur().text == "NOT") {
+			return nil, fmt.Errorf("line %d: %s is not supported: conditions must be conjunctions of comparisons", p.cur().line, p.cur().text)
+		}
+		if !p.accept("AND") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	// BETWEEN is conjunction sugar within the paper's fragment:
+	// A BETWEEN x AND y parses as A >= x AND A <= y.
+	if p.accept("BETWEEN") {
+		lo, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{
+			Op: OpAnd,
+			L:  &BinExpr{Op: OpGeq, L: l, R: lo},
+			R:  &BinExpr{Op: OpLeq, L: l, R: hi},
+		}, nil
+	}
+	var op BinOp
+	switch p.cur().kind {
+	case tokEq:
+		op = OpEq
+	case tokNeq:
+		op = OpNeq
+	case tokLt:
+		op = OpLt
+	case tokLeq:
+		op = OpLeq
+	case tokGt:
+		op = OpGt
+	case tokGeq:
+		op = OpGeq
+	default:
+		return nil, p.unexpected("comparison operator")
+	}
+	p.i++
+	r, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &BinExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAddExpr() (Expr, error) {
+	l, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMulExpr() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().kind {
+		case tokStar:
+			op = OpMul
+		case tokSlash:
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.i++
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		v, err := formatNumber(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q: %v", t.line, t.text, err)
+		}
+		return &Lit{Val: v}, nil
+	case tokString:
+		p.i++
+		return &Lit{Val: value.Str(t.text)}, nil
+	case tokMinus:
+		p.i++
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*Lit); ok && lit.Val.IsNumeric() {
+			if lit.Val.Kind() == value.KindInt {
+				return &Lit{Val: value.Int(-lit.Val.AsInt())}, nil
+			}
+			return &Lit{Val: value.Float(-lit.Val.AsFloat())}, nil
+		}
+		return &BinExpr{Op: OpSub, L: &Lit{Val: value.Int(0)}, R: inner}, nil
+	case tokLParen:
+		p.i++
+		e, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "MIN", "MAX", "SUM", "COUNT", "AVG":
+			return p.parseAgg(AggFunc(t.text))
+		case "TRUE":
+			p.i++
+			return &Lit{Val: value.Bool(true)}, nil
+		case "FALSE":
+			p.i++
+			return &Lit{Val: value.Bool(false)}, nil
+		}
+	case tokIdent:
+		return p.parseColumnRefExpr()
+	}
+	return nil, p.unexpected("expression")
+}
+
+func (p *parser) parseAgg(fn AggFunc) (Expr, error) {
+	p.i++ // the function keyword
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokStar {
+		if fn != AggCount {
+			return nil, fmt.Errorf("line %d: %s(*) is not valid SQL; only COUNT(*)", p.cur().line, fn)
+		}
+		p.i++
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &AggExpr{Func: fn, Star: true}, nil
+	}
+	arg, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &AggExpr{Func: fn, Arg: arg}, nil
+}
+
+func (p *parser) parseColumnRefExpr() (Expr, error) {
+	return p.parseColumnRef()
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokDot {
+		p.i++
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Qualifier: name, Name: col}, nil
+	}
+	return &ColumnRef{Name: name}, nil
+}

@@ -1,0 +1,100 @@
+// Package sqlparser implements a lexer and recursive-descent parser for
+// the SQL dialect used in the paper: single-block
+// SELECT-FROM-WHERE-GROUPBY-HAVING queries with the aggregate functions
+// MIN, MAX, SUM, COUNT and AVG, plus the CREATE TABLE / CREATE VIEW
+// statements needed to describe a workload in one script.
+package sqlparser
+
+import "fmt"
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokSemicolon
+	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
+	tokEq  // =
+	tokNeq // <> or !=
+	tokLt  // <
+	tokLeq // <=
+	tokGt  // >
+	tokGeq // >=
+	tokKeyword
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSemicolon:
+		return "';'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokSlash:
+		return "'/'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'<>'"
+	case tokLt:
+		return "'<'"
+	case tokLeq:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGeq:
+		return "'>='"
+	case tokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string // identifier text, keyword (upper-cased), number or string payload
+	pos  int    // byte offset in the input
+	line int    // 1-based line number
+}
+
+// keywords recognised by the lexer; identifiers matching these
+// (case-insensitively) become tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "GROUPBY": true, "HAVING": true,
+	"AND": true, "AS": true, "MIN": true, "MAX": true, "SUM": true,
+	"COUNT": true, "AVG": true, "CREATE": true, "TABLE": true,
+	"VIEW": true, "KEY": true, "FD": true, "NOT": true, "OR": true,
+	"TRUE": true, "FALSE": true, "BETWEEN": true,
+}

@@ -1,0 +1,292 @@
+// Package value defines the scalar values that flow through the query
+// engine: 64-bit integers, double-precision floats, strings and booleans.
+//
+// The paper's data model is purely relational with atomic values and no
+// NULLs; Value mirrors that. Integers and floats compare with each other
+// numerically (as SQL does), so a view materialized with integer sums can
+// be compared against float constants in a rewritten query.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind discriminates the runtime type of a Value.
+type Kind uint8
+
+// The supported scalar kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a scalar database value. The zero Value is the integer 0.
+type Value struct {
+	kind Kind
+	i    int64 // also carries the bool (0/1)
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNumeric reports whether the value is an integer or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsInt returns the integer payload; it panics on non-integer values.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the value as a float64, converting integers.
+// It panics on non-numeric values.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic("value: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string payload; it panics on non-string values.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload; it panics on non-bool values.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("value: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// String renders the value as a SQL literal.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// Comparable reports whether two values can be ordered against each other:
+// numerics compare with numerics, otherwise the kinds must match.
+func Comparable(a, b Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		return true
+	}
+	return a.kind == b.kind
+}
+
+// Compare orders a against b, returning -1, 0 or +1. Numeric values
+// compare numerically across int/float. For values of incomparable kinds
+// the ordering is by kind, which gives a stable total order for sorting
+// heterogeneous columns but has no SQL meaning.
+func Compare(a, b Value) int {
+	if a.IsNumeric() && b.IsNumeric() {
+		// Compare in the integer domain when both are ints, avoiding
+		// float rounding for large int64 values.
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		switch {
+		case a.kind < b.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	case KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under SQL comparison
+// semantics (1 = 1.0 is true).
+func Equal(a, b Value) bool {
+	if !Comparable(a, b) {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Add returns a+b for numeric values. The result is an integer when both
+// operands are integers, a float otherwise.
+func Add(a, b Value) (Value, error) {
+	return arith(a, b, '+')
+}
+
+// Sub returns a-b for numeric values.
+func Sub(a, b Value) (Value, error) {
+	return arith(a, b, '-')
+}
+
+// Mul returns a*b for numeric values.
+func Mul(a, b Value) (Value, error) {
+	return arith(a, b, '*')
+}
+
+// Div returns a/b for numeric values. Division always yields a float, as
+// the only divisions the rewriter emits reconstruct AVG from SUM/COUNT.
+func Div(a, b Value) (Value, error) {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Value{}, fmt.Errorf("value: cannot divide %s by %s", a.kind, b.kind)
+	}
+	bf := b.AsFloat()
+	if bf == 0 {
+		return Value{}, fmt.Errorf("value: division by zero")
+	}
+	return Float(a.AsFloat() / bf), nil
+}
+
+func arith(a, b Value, op byte) (Value, error) {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Value{}, fmt.Errorf("value: cannot apply %c to %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case '+':
+			return Int(a.i + b.i), nil
+		case '-':
+			return Int(a.i - b.i), nil
+		default:
+			return Int(a.i * b.i), nil
+		}
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case '+':
+		return Float(af + bf), nil
+	case '-':
+		return Float(af - bf), nil
+	default:
+		return Float(af * bf), nil
+	}
+}
+
+// Key returns a string that is identical for values that are Equal and
+// distinct otherwise; it is used as a hash key for grouping and joining.
+// Numerics hash through float64 so 1 and 1.0 land in the same group,
+// matching Equal.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindInt:
+		// Integers exactly representable as float64 must collide with
+		// their float counterparts. int64 values beyond 2^53 are not
+		// exactly representable; format those from the integer to keep
+		// distinct keys distinct.
+		if v.i >= -(1<<53) && v.i <= 1<<53 {
+			return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		}
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if f := v.f; f == math.Trunc(f) && f >= -(1<<53) && f <= 1<<53 {
+			return "n" + strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.i != 0 {
+			return "bT"
+		}
+		return "bF"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,248 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "STRING",
+		KindBool:   "BOOL",
+		Kind(9):    "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("Int accessor")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("Int AsFloat")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str accessor")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool accessor")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on int", func() { Int(1).AsBool() })
+}
+
+func TestCompareNumericCross(t *testing.T) {
+	if !Equal(Int(1), Float(1.0)) {
+		t.Error("1 should equal 1.0")
+	}
+	if Compare(Int(1), Float(1.5)) != -1 {
+		t.Error("1 < 1.5")
+	}
+	if Compare(Float(2.5), Int(2)) != 1 {
+		t.Error("2.5 > 2")
+	}
+	// Large int64 values must compare exactly, not through float64.
+	big := int64(1<<62 + 1)
+	if Compare(Int(big), Int(big-1)) != 1 {
+		t.Error("large int compare must be exact")
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if Compare(Str("a"), Str("b")) != -1 || Compare(Str("b"), Str("a")) != 1 || Compare(Str("a"), Str("a")) != 0 {
+		t.Error("string ordering")
+	}
+	if Compare(Bool(false), Bool(true)) != -1 || Compare(Bool(true), Bool(true)) != 0 {
+		t.Error("bool ordering")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if Comparable(Int(1), Str("x")) {
+		t.Error("int and string are not comparable")
+	}
+	if !Comparable(Int(1), Float(1)) {
+		t.Error("int and float are comparable")
+	}
+	if Equal(Int(0), Str("")) {
+		t.Error("cross-kind Equal must be false")
+	}
+}
+
+func TestCrossKindOrderingIsStable(t *testing.T) {
+	// The ordering across incomparable kinds is arbitrary but must be a
+	// strict total order for sorting.
+	vals := []Value{Int(1), Float(2), Str("a"), Bool(true)}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, ba := Compare(a, b), Compare(b, a)
+			if ab != -ba {
+				t.Errorf("Compare(%v,%v)=%d but Compare(%v,%v)=%d", a, b, ab, b, a, ba)
+			}
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Equal(got, want) || got.Kind() != want.Kind() {
+			t.Fatalf("got %v (%v), want %v (%v)", got, got.Kind(), want, want.Kind())
+		}
+	}
+	v, err := Add(Int(2), Int(3))
+	check(v, err, Int(5))
+	v, err = Sub(Int(2), Int(3))
+	check(v, err, Int(-1))
+	v, err = Mul(Int(2), Int(3))
+	check(v, err, Int(6))
+	v, err = Add(Int(2), Float(0.5))
+	check(v, err, Float(2.5))
+	v, err = Mul(Float(2), Float(3))
+	check(v, err, Float(6))
+	v, err = Div(Int(7), Int(2))
+	check(v, err, Float(3.5))
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Add(Str("a"), Int(1)); err == nil {
+		t.Error("Add on string should fail")
+	}
+	if _, err := Mul(Int(1), Bool(true)); err == nil {
+		t.Error("Mul on bool should fail")
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := Div(Str("a"), Int(1)); err == nil {
+		t.Error("Div on string should fail")
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	pairs := []struct {
+		a, b Value
+	}{
+		{Int(1), Float(1.0)},
+		{Int(0), Float(0)},
+		{Int(-3), Float(-3)},
+	}
+	for _, p := range pairs {
+		if p.a.Key() != p.b.Key() {
+			t.Errorf("Key mismatch for equal values %v and %v", p.a, p.b)
+		}
+	}
+	distinct := []Value{Int(1), Int(2), Float(1.5), Str("1"), Bool(true), Bool(false), Str("")}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		if prev, ok := seen[v.Key()]; ok {
+			t.Errorf("Key collision between %v and %v", prev, v)
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestKeyLargeInts(t *testing.T) {
+	a, b := Int(1<<60), Int(1<<60+1)
+	if a.Key() == b.Key() {
+		t.Error("large ints beyond 2^53 must keep distinct keys")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "'hi'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: Key equality coincides with Equal for int/float values.
+func TestQuickKeyMatchesEqual(t *testing.T) {
+	f := func(a, b int32, useFloatA, useFloatB bool) bool {
+		va, vb := Int(int64(a)), Int(int64(b))
+		if useFloatA {
+			va = Float(float64(a))
+		}
+		if useFloatB {
+			vb = Float(float64(b))
+		}
+		return (va.Key() == vb.Key()) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return Compare(va, vb) == -Compare(vb, va) &&
+			(Compare(va, vb) == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arithmetic on ints matches Go's int64 arithmetic.
+func TestQuickIntArith(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		s, err1 := Add(Int(x), Int(y))
+		d, err2 := Sub(Int(x), Int(y))
+		p, err3 := Mul(Int(x), Int(y))
+		return err1 == nil && err2 == nil && err3 == nil &&
+			s.AsInt() == x+y && d.AsInt() == x-y && p.AsInt() == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeyNonInteger(t *testing.T) {
+	if Float(1.5).Key() == Float(2.5).Key() {
+		t.Error("distinct float keys")
+	}
+	if Float(math.Pi).Key() != Float(math.Pi).Key() {
+		t.Error("identical floats must share a key")
+	}
+}
