@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-json quick
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 verify path: build + vet + tests + race suite.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-json regenerates the kernel trajectory report checked in at the
+# repo root (see DESIGN.md section 6).
+bench-json:
+	$(GO) run ./cmd/benchrunner -json BENCH_PR1.json
+
+quick:
+	$(GO) run ./cmd/benchrunner -quick

@@ -87,6 +87,14 @@ func (s *System) source() ir.SchemaSource {
 	return ir.MultiSource{s.Catalog, s.Views}
 }
 
+// evaluator builds an engine evaluator over the given registry, carrying
+// the system's Workers knob (Opts.Workers: 0 = GOMAXPROCS, 1 = serial).
+func (s *System) evaluator(reg *ir.Registry) *engine.Evaluator {
+	ev := engine.NewEvaluator(s.DB, reg)
+	ev.Workers = s.Opts.Workers
+	return ev
+}
+
 // Rewriter returns the configured rewriter.
 func (s *System) Rewriter() *core.Rewriter {
 	return &core.Rewriter{
@@ -255,7 +263,7 @@ func (s *System) Materialize(name string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("aggview: unknown view %q", name)
 	}
-	res, err := engine.NewEvaluator(s.DB, s.Views).Exec(v.Def)
+	res, err := s.evaluator(s.Views).Exec(v.Def)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +321,7 @@ func (s *System) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.NewEvaluator(s.DB, reg).Exec(q)
+	return s.evaluator(reg).Exec(q)
 }
 
 // MustQuery is Query, panicking on error.
@@ -425,7 +433,7 @@ func (s *System) QueryBest(sql string) (*Result, *Rewriting, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := engine.NewEvaluator(s.DB, reg).Exec(r.Query)
+	res, err := s.evaluator(reg).Exec(r.Query)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -438,7 +446,7 @@ func (s *System) ExecRewriting(r *Rewriting) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.NewEvaluator(s.DB, reg).Exec(r.Query)
+	return s.evaluator(reg).Exec(r.Query)
 }
 
 // viewsWithAux layers a rewriting's auxiliary views over the registry.

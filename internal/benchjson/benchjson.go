@@ -1,0 +1,81 @@
+// Package benchjson defines the machine-readable benchmark report
+// emitted by cmd/benchrunner -json. The format is deliberately flat so
+// trajectory tooling can diff reports across PRs: one record per
+// (kernel, scale, worker count), with speedups always computed against
+// the serial (workers=1) row of the same kernel and scale.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Result is one measured point.
+type Result struct {
+	// Name identifies the kernel, e.g. "telco/exec-direct".
+	Name string `json:"name"`
+	// Scale is the input cardinality the kernel ran at.
+	Scale int `json:"scale"`
+	// Workers is the evaluator/rewriter worker-pool size (1 = serial).
+	Workers int `json:"workers"`
+	// NsPerOp is the best-of-N wall time for one operation.
+	NsPerOp int64 `json:"ns_per_op"`
+	// SpeedupVsSerial is serial-ns / this-ns for the same name+scale;
+	// 1.0 for the serial row itself.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the full emission of one benchrunner invocation.
+type Report struct {
+	// GoMaxProcs and NumCPU record the machine the numbers came from —
+	// parallel speedups are meaningless without them.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
+	GoVersion  string   `json:"go_version"`
+	Quick      bool     `json:"quick"`
+	Notes      []string `json:"notes,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// New returns a report stamped with the current runtime configuration.
+func New(quick bool) *Report {
+	return &Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Quick:      quick,
+	}
+}
+
+// Add appends one measured point, computing SpeedupVsSerial from a
+// previously added workers=1 row with the same name and scale (1.0 if
+// none exists).
+func (r *Report) Add(name string, scale, workers int, nsPerOp int64) {
+	speedup := 1.0
+	for _, prev := range r.Results {
+		if prev.Name == name && prev.Scale == scale && prev.Workers == 1 {
+			speedup = float64(prev.NsPerOp) / float64(nsPerOp)
+			break
+		}
+	}
+	r.Results = append(r.Results, Result{
+		Name: name, Scale: scale, Workers: workers,
+		NsPerOp: nsPerOp, SpeedupVsSerial: speedup,
+	})
+}
+
+// Note records free-form context (e.g. closure-cache hit rates).
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteFile marshals the report, indented, to path.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,109 @@
+package constraints
+
+// This file implements closure memoization: the rewriter's
+// canonical-key computation closes the WHERE conjunction of every BFS
+// candidate, and distinct branches of the search repeatedly reach
+// queries with identical conjunctions. CloseCached computes each closure
+// once and shares it — closures are finalized by Close, so sharing
+// across concurrent candidate analyzers is safe.
+
+import (
+	"strconv"
+	"sync"
+)
+
+// closeCacheCap bounds the number of memoized closures. Eviction is
+// FIFO: entries beyond the bound displace the oldest, which is cheap,
+// deterministic, and good enough for a BFS whose working set is the
+// current frontier.
+const closeCacheCap = 4096
+
+type closeCache struct {
+	mu     sync.Mutex
+	m      map[string]*Closure
+	order  []string // insertion ring, len == cap once full
+	next   int      // ring slot to displace next
+	hits   int64
+	misses int64
+}
+
+var globalCloseCache = &closeCache{m: map[string]*Closure{}}
+
+// CloseCached is Close with memoization on the conjunction's exact
+// content (atom order included, so a hit returns a closure with
+// identical observable behavior). It is safe for concurrent callers.
+func CloseCached(c Conj) *Closure {
+	key := cacheKey(c)
+	g := globalCloseCache
+	g.mu.Lock()
+	if cl, ok := g.m[key]; ok {
+		g.hits++
+		g.mu.Unlock()
+		return cl
+	}
+	g.misses++
+	g.mu.Unlock()
+
+	// Compute outside the lock: closing can be expensive and concurrent
+	// misses on different keys should not serialize. A racing duplicate
+	// computation of the same key is harmless (both results are
+	// equivalent; the second insert wins).
+	cl := Close(c)
+
+	g.mu.Lock()
+	if len(g.order) < closeCacheCap {
+		g.order = append(g.order, key)
+	} else {
+		delete(g.m, g.order[g.next])
+		g.order[g.next] = key
+		g.next = (g.next + 1) % closeCacheCap
+	}
+	g.m[key] = cl
+	g.mu.Unlock()
+	return cl
+}
+
+// CloseCacheStats reports cumulative hit/miss counters and the current
+// entry count, for benchmarks and diagnostics.
+func CloseCacheStats() (hits, misses int64, size int) {
+	g := globalCloseCache
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses, len(g.m)
+}
+
+// ResetCloseCache empties the cache and its counters (tests and
+// benchmarks that need a cold start).
+func ResetCloseCache() {
+	g := globalCloseCache
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.m = map[string]*Closure{}
+	g.order = nil
+	g.next = 0
+	g.hits, g.misses = 0, 0
+}
+
+// cacheKey renders a conjunction to a canonical byte string: one record
+// per atom, terms tagged as variable or constant.
+func cacheKey(c Conj) string {
+	b := make([]byte, 0, 16*len(c))
+	for _, a := range c {
+		b = append(b, byte(a.Op))
+		b = appendTerm(b, a.L)
+		b = appendTerm(b, a.R)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func appendTerm(b []byte, t Term) []byte {
+	if t.IsConst {
+		b = append(b, 'c')
+		b = append(b, t.C.Key()...)
+	} else {
+		b = append(b, 'v')
+		b = strconv.AppendInt(b, int64(t.V), 10)
+	}
+	return append(b, '|')
+}

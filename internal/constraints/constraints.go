@@ -115,7 +115,10 @@ type nodeInfo struct {
 }
 
 // Close computes the closure of the conjunction. The result is always
-// non-nil; Sat reports whether the conjunction is satisfiable.
+// non-nil; Sat reports whether the conjunction is satisfiable. A
+// returned Closure is finalized: queries against it (Implies, Atoms,
+// Sat) never mutate it, so it is safe for concurrent readers — which is
+// what lets CloseCached share closures across goroutines.
 func Close(c Conj) *Closure {
 	cl := &Closure{conj: c, sat: true, varOf: map[Var]int{}, cnode: map[string]int{}}
 	for _, a := range c {
@@ -127,12 +130,24 @@ func Close(c Conj) *Closure {
 		if a.Op == ir.OpEq {
 			if !cl.union(cl.node(a.L), cl.node(a.R)) {
 				cl.sat = false
+				cl.finalize()
 				return cl
 			}
 		}
 	}
 	cl.fixpoint()
+	cl.finalize()
 	return cl
+}
+
+// finalize fully compresses the union-find so every parent pointer goes
+// straight to its representative. After this, findRead never follows
+// more than one hop and performs no writes, making the closure safe for
+// concurrent readers.
+func (cl *Closure) finalize() {
+	for n := range cl.parent {
+		cl.parent[n] = cl.find(n)
+	}
 }
 
 // node interns a term as a node index.
@@ -164,6 +179,15 @@ func (cl *Closure) addNode(info nodeInfo) int {
 func (cl *Closure) find(n int) int {
 	for cl.parent[n] != n {
 		cl.parent[n] = cl.parent[cl.parent[n]]
+		n = cl.parent[n]
+	}
+	return n
+}
+
+// findRead is find without path compression: no writes, so concurrent
+// readers of a finalized closure never race.
+func (cl *Closure) findRead(n int) int {
+	for cl.parent[n] != n {
 		n = cl.parent[n]
 	}
 	return n

@@ -40,7 +40,7 @@ func (cl *Closure) lookup(t Term) (int, bool) {
 			return 0, false
 		}
 	}
-	i, ok := cl.idxCache[cl.find(n)]
+	i, ok := cl.idxCache[cl.findRead(n)]
 	return i, ok
 }
 

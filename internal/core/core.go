@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"aggview/internal/aggreason"
 	"aggview/internal/constraints"
@@ -30,6 +33,10 @@ type Options struct {
 	// MaxRewritings caps the number of rewritings enumerated by
 	// Rewritings; 0 means the default of 128.
 	MaxRewritings int
+	// Workers sizes the worker pool that analyzes rewrite candidates
+	// concurrently: 0 means GOMAXPROCS, 1 forces the serial search. The
+	// enumeration order and results are identical at every setting.
+	Workers int
 }
 
 // Rewriter rewrites queries to use materialized views.
@@ -139,28 +146,85 @@ func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
 	return out
 }
 
+// workers resolves the Workers knob: 0 means GOMAXPROCS, 1 serial.
+func (rw *Rewriter) workers() int {
+	w := rw.Opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Rewritings enumerates the rewritings of q reachable by iteratively
 // incorporating registered views (Theorem 3.2: for conjunctive views
 // with equality predicates, iterative application in any order is sound,
 // Church-Rosser and complete). Results are deduplicated up to renaming
 // and FROM-clause order.
+//
+// The search runs breadth-first in waves: every (candidate, view) pair
+// of the current frontier is analyzed concurrently — RewriteOnce is pure
+// per pair — and the outcomes are committed to seen/results serially in
+// (frontier, view-registration, mapping) order. Commit order therefore
+// matches the serial queue walk exactly, so the result list is
+// byte-identical to the single-threaded enumeration at any worker count,
+// and MaxRewritings cuts the same prefix.
 func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 	limit := rw.Opts.MaxRewritings
 	if limit <= 0 {
 		limit = 128
 	}
+	views := rw.Views.All()
 	seen := map[string]bool{canonicalKey(q): true}
 	var results []*Rewriting
-	queue := []*Rewriting{{Query: q}}
-	for len(queue) > 0 && len(results) < limit {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, v := range rw.Views.All() {
-			for _, step := range rw.RewriteOnce(cur.Query, v) {
+	frontier := []*Rewriting{{Query: q}}
+	for len(frontier) > 0 && len(results) < limit {
+		type job struct {
+			cur *Rewriting
+			v   *ir.ViewDef
+		}
+		jobs := make([]job, 0, len(frontier)*len(views))
+		for _, cur := range frontier {
+			for _, v := range views {
+				jobs = append(jobs, job{cur, v})
+			}
+		}
+		steps := make([][]*Rewriting, len(jobs))
+		if w := rw.workers(); w > 1 && len(jobs) > 1 {
+			if w > len(jobs) {
+				w = len(jobs)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(jobs) {
+							return
+						}
+						steps[i] = rw.RewriteOnce(jobs[i].cur.Query, jobs[i].v)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i, j := range jobs {
+				steps[i] = rw.RewriteOnce(j.cur.Query, j.v)
+			}
+		}
+		var nextFrontier []*Rewriting
+		for i, j := range jobs {
+			cur := j.cur
+			for _, step := range steps[i] {
 				combined := &Rewriting{
 					Query:   step.Query,
 					Aux:     append(append([]*ir.ViewDef{}, cur.Aux...), step.Aux...),
-					Used:    append(append([]string{}, cur.Used...), v.Name),
+					Used:    append(append([]string{}, cur.Used...), j.v.Name),
 					SetOnly: cur.SetOnly || step.SetOnly,
 					Notes:   append(append([]string{}, cur.Notes...), step.Notes...),
 				}
@@ -170,12 +234,13 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 				}
 				seen[key] = true
 				results = append(results, combined)
-				queue = append(queue, combined)
+				nextFrontier = append(nextFrontier, combined)
 				if len(results) >= limit {
 					return results
 				}
 			}
 		}
+		frontier = nextFrontier
 	}
 	return results
 }
@@ -198,10 +263,24 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 	}
 	var best *Rewriting
 	bestCost := 0.0
+	bestKey := ""
 	for _, r := range rw.Rewritings(q) {
 		c := cost(r.Query)
-		if best == nil || c < bestCost {
-			best, bestCost = r, c
+		switch {
+		case best == nil || c < bestCost:
+			best, bestCost, bestKey = r, c, ""
+		case c == bestCost:
+			// Deterministic tie-breaking: fewest views used, then smallest
+			// canonical key — stable regardless of enumeration order.
+			if len(r.Used) > len(best.Used) {
+				continue
+			}
+			if bestKey == "" {
+				bestKey = canonicalKey(best.Query)
+			}
+			if k := canonicalKey(r.Query); len(r.Used) < len(best.Used) || k < bestKey {
+				best, bestKey = r, k
+			}
 		}
 	}
 	return best
@@ -219,7 +298,9 @@ func canonicalKey(q *ir.Query) string {
 	// with different spanning trees) must produce the same key. SELECT
 	// and HAVING keep their order (SELECT order is semantically
 	// relevant).
-	cl := constraints.Close(aggreason.WhereConj(reordered))
+	// CloseCached: BFS branches repeatedly reach candidates with equal
+	// WHERE conjunctions; the closure is computed once and shared.
+	cl := constraints.CloseCached(aggreason.WhereConj(reordered))
 	name := func(t constraints.Term) string {
 		if t.IsConst {
 			return t.C.String()

@@ -84,7 +84,9 @@ func (a *analyzer) analyze() (*Rewriting, error) {
 	}
 	a.coveredTables = a.m.coveredTables()
 
-	a.clQ = constraints.Close(aggreason.WhereConj(a.q))
+	// One candidate query is analyzed once per (view, mapping) pair; its
+	// WHERE closure is identical across all of them, so share it.
+	a.clQ = constraints.CloseCached(aggreason.WhereConj(a.q))
 	a.buildCanon()
 	a.classifyView()
 

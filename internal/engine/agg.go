@@ -2,57 +2,195 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"aggview/internal/ir"
 	"aggview/internal/value"
 )
 
+// accum is the streaming state of one aggregate over one group. Rows are
+// folded incrementally in input order, so only the per-aggregate state is
+// retained instead of the group's full row set; a group's rows are always
+// folded by a single worker, which keeps results (including float
+// accumulation order) byte-identical between the serial and parallel
+// paths.
+type accum struct {
+	fn   ir.AggFunc
+	arg  ir.Expr // nil for COUNT(*) and bare COUNT
+	rows int64
+	seen bool
+	sum  value.Value // SUM: running total, typed by the first value
+	avg  float64     // AVG: running float total
+	best value.Value // MIN/MAX: current extremum
+}
+
+// fold absorbs one row into the accumulator.
+func (ac *accum) fold(row []value.Value) error {
+	ac.rows++
+	if ac.arg == nil {
+		return nil
+	}
+	if ac.fn == ir.AggCount {
+		// No NULLs: COUNT(arg) counts rows. The argument is still
+		// evaluated once to surface reference errors.
+		if !ac.seen {
+			if _, err := evalScalar(ac.arg, row); err != nil {
+				return err
+			}
+			ac.seen = true
+		}
+		return nil
+	}
+	v, err := evalScalar(ac.arg, row)
+	if err != nil {
+		return err
+	}
+	switch ac.fn {
+	case ir.AggMin, ir.AggMax:
+		if !ac.seen {
+			ac.best, ac.seen = v, true
+			return nil
+		}
+		if !value.Comparable(ac.best, v) {
+			return fmt.Errorf("engine: %s over incomparable values %s and %s", ac.fn, ac.best, v)
+		}
+		c := value.Compare(v, ac.best)
+		if (ac.fn == ir.AggMin && c < 0) || (ac.fn == ir.AggMax && c > 0) {
+			ac.best = v
+		}
+	case ir.AggSum:
+		if !v.IsNumeric() {
+			return fmt.Errorf("engine: SUM over non-numeric value %s", v)
+		}
+		if !ac.seen {
+			ac.sum, ac.seen = v, true
+			return nil
+		}
+		ac.sum, err = value.Add(ac.sum, v)
+		return err
+	case ir.AggAvg:
+		if !v.IsNumeric() {
+			return fmt.Errorf("engine: AVG over non-numeric value %s", v)
+		}
+		ac.avg += v.AsFloat()
+	default:
+		return fmt.Errorf("engine: unknown aggregate %v", ac.fn)
+	}
+	return nil
+}
+
+// result finalizes the accumulator into the aggregate's value.
+func (ac *accum) result() (value.Value, error) {
+	if ac.arg == nil || ac.fn == ir.AggCount {
+		return value.Int(ac.rows), nil
+	}
+	switch ac.fn {
+	case ir.AggMin, ir.AggMax:
+		return ac.best, nil
+	case ir.AggSum:
+		return ac.sum, nil
+	case ir.AggAvg:
+		return value.Float(ac.avg / float64(ac.rows)), nil
+	default:
+		return value.Value{}, fmt.Errorf("engine: unknown aggregate %v", ac.fn)
+	}
+}
+
 // group is one GROUP BY group: its representative row (for grouping
-// columns) and all member rows (for aggregates).
+// columns), one accumulator per aggregate occurrence, and the index of
+// its first row (for first-appearance output order).
 type group struct {
-	rep  []value.Value
-	rows [][]value.Value
+	rep   []value.Value
+	accs  []accum
+	first int
+}
+
+func newGroup(rep []value.Value, aggs []*ir.Agg, first int) *group {
+	g := &group{rep: rep, accs: make([]accum, len(aggs)), first: first}
+	for i, a := range aggs {
+		g.accs[i].fn = a.Func
+		if !a.Star {
+			g.accs[i].arg = a.Arg
+		}
+	}
+	return g
+}
+
+// fold absorbs one row into every accumulator of the group.
+func (g *group) fold(row []value.Value) error {
+	for i := range g.accs {
+		if err := g.accs[i].fold(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectAggs gathers the aggregate occurrences of SELECT and HAVING in
+// a deterministic order, with a node -> accumulator-index map.
+func collectAggs(q *ir.Query) ([]*ir.Agg, map[*ir.Agg]int) {
+	var list []*ir.Agg
+	idx := map[*ir.Agg]int{}
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		switch x := e.(type) {
+		case *ir.Arith:
+			walk(x.L)
+			walk(x.R)
+		case *ir.Agg:
+			if _, ok := idx[x]; !ok {
+				idx[x] = len(list)
+				list = append(list, x)
+			}
+		}
+	}
+	for _, it := range q.Select {
+		walk(it.Expr)
+	}
+	for _, h := range q.Having {
+		walk(h.L)
+		walk(h.R)
+	}
+	return list, idx
 }
 
 // aggregate evaluates the GROUP BY / HAVING / SELECT pipeline of an
 // aggregation query over the joined rows, appending result tuples to out.
+// Aggregates stream through per-group accumulators instead of
+// materializing each group's row set; grouped inputs are folded by a
+// hash-partitioned worker pool (see groupFold).
 func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation) error {
+	aggs, aggIdx := collectAggs(q)
 	var groups []*group
 	if len(q.GroupBy) == 0 {
 		// A single global group; an empty input yields no groups (see the
-		// package comment for this documented simplification).
+		// package comment for this documented simplification). One group
+		// means one fold chain, which stays serial by construction.
 		if len(rows) > 0 {
-			groups = append(groups, &group{rep: rows[0], rows: rows})
+			g := newGroup(rows[0], aggs, 0)
+			for _, row := range rows {
+				if err := g.fold(row); err != nil {
+					return err
+				}
+			}
+			groups = append(groups, g)
 		}
 	} else {
-		index := map[string]*group{}
-		var order []string
-		for _, row := range rows {
-			key := ""
-			for _, g := range q.GroupBy {
-				key += row[g].Key() + "\x00"
-			}
-			grp, ok := index[key]
-			if !ok {
-				grp = &group{rep: row}
-				index[key] = grp
-				order = append(order, key)
-			}
-			grp.rows = append(grp.rows, row)
-		}
-		for _, k := range order {
-			groups = append(groups, index[k])
+		var err error
+		groups, err = ev.groupFold(q, rows, aggs)
+		if err != nil {
+			return err
 		}
 	}
 
 	for _, g := range groups {
 		keep := true
 		for _, h := range q.Having {
-			l, err := evalGrouped(h.L, g)
+			l, err := evalGrouped(h.L, g, aggIdx)
 			if err != nil {
 				return err
 			}
-			r, err := evalGrouped(h.R, g)
+			r, err := evalGrouped(h.R, g, aggIdx)
 			if err != nil {
 				return err
 			}
@@ -70,7 +208,7 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 		}
 		tuple := make([]value.Value, len(q.Select))
 		for i, it := range q.Select {
-			v, err := evalGrouped(it.Expr, g)
+			v, err := evalGrouped(it.Expr, g, aggIdx)
 			if err != nil {
 				return err
 			}
@@ -79,6 +217,85 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 		out.Tuples = append(out.Tuples, tuple)
 	}
 	return nil
+}
+
+// groupFold builds the groups of a GROUP BY query. Work is split in two
+// parallel phases: group keys are computed per row over contiguous
+// partitions, then each worker owns the hash shard of groups assigned to
+// it and folds exactly those rows, scanning the shard array in row
+// order. Every group is therefore folded by a single worker in input
+// order, so accumulator contents — including float accumulation order —
+// and the first-appearance output order are independent of the worker
+// count.
+func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg) ([]*group, error) {
+	w := ev.workersFor(len(rows))
+	keys := make([]string, len(rows))
+	shard := make([]uint8, len(rows))
+	runChunks(w, len(rows), func(lo, hi int) {
+		var b []byte
+		for i := lo; i < hi; i++ {
+			b = b[:0]
+			for _, g := range q.GroupBy {
+				b = append(b, rows[i][g].Key()...)
+				b = append(b, 0)
+			}
+			k := string(b)
+			keys[i] = k
+			shard[i] = uint8(fnv32(k) % uint32(w))
+		}
+	})
+
+	type shardOut struct {
+		groups []*group
+		errRow int
+		err    error
+	}
+	outs := make([]shardOut, w)
+	runShard := func(s int) {
+		o := &outs[s]
+		index := map[string]*group{}
+		for i, row := range rows {
+			if int(shard[i]) != s {
+				continue
+			}
+			g, ok := index[keys[i]]
+			if !ok {
+				g = newGroup(row, aggs, i)
+				index[keys[i]] = g
+				o.groups = append(o.groups, g)
+			}
+			if err := g.fold(row); err != nil {
+				o.errRow, o.err = i, err
+				return
+			}
+		}
+	}
+	runChunks(w, w, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			runShard(s)
+		}
+	})
+
+	// The surviving error is the one with the smallest row index — the
+	// error the serial row-by-row fold would have hit first.
+	var err error
+	errRow := -1
+	total := 0
+	for s := range outs {
+		if outs[s].err != nil && (errRow < 0 || outs[s].errRow < errRow) {
+			errRow, err = outs[s].errRow, outs[s].err
+		}
+		total += len(outs[s].groups)
+	}
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]*group, 0, total)
+	for s := range outs {
+		groups = append(groups, outs[s].groups...)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].first < groups[j].first })
+	return groups, nil
 }
 
 // evalScalar evaluates an aggregate-free expression on one row.
@@ -106,25 +323,29 @@ func evalScalar(e ir.Expr, row []value.Value) (value.Value, error) {
 }
 
 // evalGrouped evaluates an expression in group context: bare columns
-// come from the representative row, aggregates fold over the group.
-func evalGrouped(e ir.Expr, g *group) (value.Value, error) {
+// come from the representative row, aggregates read their accumulator.
+func evalGrouped(e ir.Expr, g *group, aggIdx map[*ir.Agg]int) (value.Value, error) {
 	switch x := e.(type) {
 	case *ir.ColRef:
 		return g.rep[x.Col], nil
 	case *ir.Const:
 		return x.Val, nil
 	case *ir.Arith:
-		l, err := evalGrouped(x.L, g)
+		l, err := evalGrouped(x.L, g, aggIdx)
 		if err != nil {
 			return value.Value{}, err
 		}
-		r, err := evalGrouped(x.R, g)
+		r, err := evalGrouped(x.R, g, aggIdx)
 		if err != nil {
 			return value.Value{}, err
 		}
 		return applyArith(x.Op, l, r)
 	case *ir.Agg:
-		return evalAgg(x, g)
+		i, ok := aggIdx[x]
+		if !ok {
+			return value.Value{}, fmt.Errorf("engine: aggregate %s not collected for this query", x.Func)
+		}
+		return g.accs[i].result()
 	default:
 		return value.Value{}, fmt.Errorf("engine: unknown expression %T", e)
 	}
@@ -142,78 +363,5 @@ func applyArith(op ir.ArithOp, l, r value.Value) (value.Value, error) {
 		return value.Div(l, r)
 	default:
 		return value.Value{}, fmt.Errorf("engine: unknown arithmetic operator %v", op)
-	}
-}
-
-// evalAgg folds an aggregate over a group's rows.
-func evalAgg(a *ir.Agg, g *group) (value.Value, error) {
-	if a.Star || a.Func == ir.AggCount && a.Arg == nil {
-		return value.Int(int64(len(g.rows))), nil
-	}
-	switch a.Func {
-	case ir.AggCount:
-		// No NULLs: COUNT(arg) counts rows. The argument is still
-		// evaluated on one row to surface reference errors.
-		if len(g.rows) > 0 {
-			if _, err := evalScalar(a.Arg, g.rows[0]); err != nil {
-				return value.Value{}, err
-			}
-		}
-		return value.Int(int64(len(g.rows))), nil
-	case ir.AggMin, ir.AggMax:
-		var best value.Value
-		for i, row := range g.rows {
-			v, err := evalScalar(a.Arg, row)
-			if err != nil {
-				return value.Value{}, err
-			}
-			if i == 0 {
-				best = v
-				continue
-			}
-			if !value.Comparable(best, v) {
-				return value.Value{}, fmt.Errorf("engine: %s over incomparable values %s and %s", a.Func, best, v)
-			}
-			c := value.Compare(v, best)
-			if (a.Func == ir.AggMin && c < 0) || (a.Func == ir.AggMax && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
-	case ir.AggSum:
-		var sum value.Value
-		for i, row := range g.rows {
-			v, err := evalScalar(a.Arg, row)
-			if err != nil {
-				return value.Value{}, err
-			}
-			if !v.IsNumeric() {
-				return value.Value{}, fmt.Errorf("engine: SUM over non-numeric value %s", v)
-			}
-			if i == 0 {
-				sum = v
-				continue
-			}
-			sum, err = value.Add(sum, v)
-			if err != nil {
-				return value.Value{}, err
-			}
-		}
-		return sum, nil
-	case ir.AggAvg:
-		total := 0.0
-		for _, row := range g.rows {
-			v, err := evalScalar(a.Arg, row)
-			if err != nil {
-				return value.Value{}, err
-			}
-			if !v.IsNumeric() {
-				return value.Value{}, fmt.Errorf("engine: AVG over non-numeric value %s", v)
-			}
-			total += v.AsFloat()
-		}
-		return value.Float(total / float64(len(g.rows))), nil
-	default:
-		return value.Value{}, fmt.Errorf("engine: unknown aggregate %v", a.Func)
 	}
 }

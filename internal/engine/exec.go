@@ -2,26 +2,54 @@ package engine
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"aggview/internal/ir"
 	"aggview/internal/value"
 )
+
+// ViewSource resolves view definitions by name; *ir.Registry implements
+// it. Implementations must be safe for concurrent readers: the evaluator
+// consults the source from worker goroutines and from concurrent Exec
+// calls.
+type ViewSource interface {
+	Get(name string) (*ir.ViewDef, bool)
+}
 
 // Evaluator executes canonical queries against a database. FROM sources
 // that are not base relations are resolved through Views: their
 // definitions are evaluated on demand and cached, which is how rewritten
 // queries that reference auxiliary views (the paper's Va construction)
 // are executed.
+//
+// An Evaluator is safe for concurrent Exec calls: the view cache is
+// synchronized and each referenced view is materialized exactly once.
 type Evaluator struct {
 	DB    *DB
-	Views *ir.Registry
+	Views ViewSource
+	// Workers sizes the worker pool of the join and aggregation kernels:
+	// 0 means GOMAXPROCS, 1 forces the serial path. Results are
+	// byte-identical at every setting (see DESIGN.md, "Parallel
+	// execution & search").
+	Workers int
 
-	cache map[string]*Relation
+	mu    sync.Mutex
+	cache map[string]*viewEntry
+}
+
+// viewEntry materializes one view at most once, even under concurrent
+// resolution (each waiter blocks on the Once of the shared entry).
+type viewEntry struct {
+	once sync.Once
+	def  *ir.ViewDef
+	rel  *Relation
+	err  error
 }
 
 // NewEvaluator builds an evaluator over a database; views may be nil.
-func NewEvaluator(db *DB, views *ir.Registry) *Evaluator {
-	return &Evaluator{DB: db, Views: views, cache: map[string]*Relation{}}
+func NewEvaluator(db *DB, views ViewSource) *Evaluator {
+	return &Evaluator{DB: db, Views: views, cache: map[string]*viewEntry{}}
 }
 
 // Exec evaluates the query and returns its result relation. The result's
@@ -37,17 +65,23 @@ func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
 			return nil, err
 		}
 	} else {
-		for _, row := range rows {
+		tuples, err := parMapFlat(ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
+			row := rows[i]
 			tuple := make([]value.Value, len(q.Select))
-			for i, it := range q.Select {
+			for k, it := range q.Select {
 				v, err := evalScalar(it.Expr, row)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				tuple[i] = v
+				tuple[k] = v
 			}
-			out.Tuples = append(out.Tuples, tuple)
+			emit(tuple)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		out.Tuples = tuples
 	}
 	if q.Distinct {
 		out = distinct(out)
@@ -55,26 +89,44 @@ func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
 	return out, nil
 }
 
-// resolve finds the relation behind a FROM source name.
+// resolve finds the relation behind a FROM source name. Views are
+// materialized at most once per evaluator: the entry map is guarded by
+// the mutex, and the materialization itself runs under the entry's Once
+// so concurrent resolvers of the same view block instead of recomputing.
 func (ev *Evaluator) resolve(name string) (*Relation, error) {
 	if r, ok := ev.DB.Get(name); ok {
 		return r, nil
 	}
-	if r, ok := ev.cache[name]; ok {
-		return r, nil
-	}
-	if ev.Views != nil {
-		if v, ok := ev.Views.Get(name); ok {
-			r, err := ev.Exec(v.Def)
-			if err != nil {
-				return nil, fmt.Errorf("engine: materializing view %s: %w", name, err)
-			}
-			r.Attrs = append([]string{}, v.OutCols...)
-			ev.cache[name] = r
-			return r, nil
+	key := strings.ToLower(name)
+	ev.mu.Lock()
+	e, ok := ev.cache[key]
+	if !ok {
+		if ev.Views == nil {
+			ev.mu.Unlock()
+			return nil, fmt.Errorf("engine: no relation or view named %q", name)
 		}
+		v, found := ev.Views.Get(name)
+		if !found {
+			ev.mu.Unlock()
+			return nil, fmt.Errorf("engine: no relation or view named %q", name)
+		}
+		e = &viewEntry{def: v}
+		if ev.cache == nil {
+			ev.cache = map[string]*viewEntry{}
+		}
+		ev.cache[key] = e
 	}
-	return nil, fmt.Errorf("engine: no relation or view named %q", name)
+	ev.mu.Unlock()
+	e.once.Do(func() {
+		r, err := ev.Exec(e.def.Def)
+		if err != nil {
+			e.err = fmt.Errorf("engine: materializing view %s: %w", name, err)
+			return
+		}
+		r.Attrs = append([]string{}, e.def.OutCols...)
+		e.rel = r
+	})
+	return e.rel, e.err
 }
 
 // joinRows evaluates the FROM and WHERE clauses, producing full-width
@@ -131,30 +183,36 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 	}
 
 	// Filter each table, producing full-width rows for that table alone.
+	// The scan is partitioned across workers; per-worker buffers are
+	// concatenated in partition order so the output matches the serial
+	// scan byte for byte.
 	width := q.NumCols()
 	filtered := make([][][]value.Value, n)
 	for i := range rels {
 		cols := q.Tables[i].Cols
-		for _, t := range rels[i].Tuples {
+		tuples := rels[i].Tuples
+		preds := perTable[i]
+		rows, err := parMapFlat(ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
 			row := make([]value.Value, width)
 			for pos, id := range cols {
-				row[id] = t[pos]
+				row[id] = tuples[j][pos]
 			}
-			ok := true
-			for _, p := range perTable[i] {
+			for _, p := range preds {
 				h, err := predHolds(p, row)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !h {
-					ok = false
-					break
+					return nil
 				}
 			}
-			if ok {
-				filtered[i] = append(filtered[i], row)
-			}
+			emit(row)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		filtered[i] = rows
 	}
 
 	// Greedy hash-join order: start with the smallest table; prefer
@@ -209,22 +267,27 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 		}
 		pendingEq = stillPending
 
-		current = hashJoin(current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
+		current = ev.hashJoin(current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
 		joined[next] = true
 
 		// Apply residual predicates that are now fully bound.
 		var rest []ir.Pred
 		for _, p := range pendingRes {
 			if (p.L.IsConst || joined[tableOf(p.L.Col)]) && (p.R.IsConst || joined[tableOf(p.R.Col)]) {
-				var kept [][]value.Value
-				for _, row := range current {
-					h, err := predHolds(p, row)
+				pred := p
+				rows := current
+				kept, err := parMapFlat(ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
+					h, err := predHolds(pred, rows[j])
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if h {
-						kept = append(kept, row)
+						emit(rows[j])
 					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				current = kept
 			} else {
@@ -243,18 +306,22 @@ type keyPair struct{ l, r ir.ColID }
 // hashJoin joins the accumulated rows with the rows of table `next`
 // using the equality predicates in keys; with no keys it degrades to a
 // cross product. nextCols lists the ColID slots owned by the table being
-// joined, so merging copies exactly those slots.
-func hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) [][]value.Value {
+// joined, so merging copies exactly those slots. The build side (the
+// incoming table) is indexed serially; the probe side (the accumulated
+// rows) is partitioned across workers, with per-worker buffers merged in
+// partition order so the output order matches the serial join exactly.
+func (ev *Evaluator) hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) [][]value.Value {
 	if len(left) == 0 || len(right) == 0 {
 		return nil
 	}
+	workers := ev.workersFor(len(left))
 	if len(keys) == 0 {
-		out := make([][]value.Value, 0, len(left)*len(right))
-		for _, l := range left {
+		out, _ := parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
 			for _, r := range right {
-				out = append(out, mergeRows(l, r, nextCols))
+				emit(mergeRows(left[i], r, nextCols))
 			}
-		}
+			return nil
+		})
 		return out
 	}
 	pairs := make([]keyPair, len(keys))
@@ -270,12 +337,12 @@ func hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID
 		k := joinKey(row, pairs, false)
 		index[k] = append(index[k], row)
 	}
-	var out [][]value.Value
-	for _, l := range left {
-		for _, r := range index[joinKey(l, pairs, true)] {
-			out = append(out, mergeRows(l, r, nextCols))
+	out, _ := parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
+		for _, r := range index[joinKey(left[i], pairs, true)] {
+			emit(mergeRows(left[i], r, nextCols))
 		}
-	}
+		return nil
+	})
 	return out
 }
 

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"aggview/internal/value"
+)
+
+// minParallelRows is the partition size below which the kernels stay
+// serial: fanning goroutines out over tiny inputs costs more than it
+// saves. The worker count is capped so every partition holds at least
+// this many rows.
+const minParallelRows = 2048
+
+// maxWorkers bounds the pool size regardless of the Workers knob; the
+// aggregation kernel stores shard ids in a byte per row.
+const maxWorkers = 256
+
+// workersFor resolves the Workers knob for an input of n rows: 0 means
+// GOMAXPROCS, 1 means serial, and the result is capped so partitions
+// stay at least minParallelRows wide.
+func (ev *Evaluator) workersFor(n int) int {
+	w := ev.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	if most := n / minParallelRows; w > most {
+		w = most
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runChunks runs fn over contiguous index ranges covering [0, n) on
+// `workers` goroutines. fn must only touch state owned by its range.
+func runChunks(workers, n int, fn func(lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parMapFlat maps each index in [0, n) to zero or more output rows,
+// preserving input order: workers process contiguous index ranges into
+// per-worker buffers that are concatenated in range order, so the output
+// is byte-identical to the serial loop. The returned error is the one
+// the serial loop would have hit first (the first error of the earliest
+// failing partition; earlier partitions either fail earlier or not at
+// all, since errors stop a partition at its first failing index).
+func parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) ([][]value.Value, error) {
+	if workers <= 1 {
+		var out [][]value.Value
+		emit := func(r []value.Value) { out = append(out, r) }
+		for i := 0; i < n; i++ {
+			if err := fn(i, emit); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	type part struct {
+		rows [][]value.Value
+		err  error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := &parts[w]
+			emit := func(r []value.Value) { p.rows = append(p.rows, r) }
+			for i := lo; i < hi; i++ {
+				if err := fn(i, emit); err != nil {
+					p.err = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := range parts {
+		if parts[w].err != nil {
+			return nil, parts[w].err
+		}
+		total += len(parts[w].rows)
+	}
+	out := make([][]value.Value, 0, total)
+	for w := range parts {
+		out = append(out, parts[w].rows...)
+	}
+	return out, nil
+}
+
+// fnv32 hashes a group key for shard assignment in the parallel
+// aggregation kernel.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

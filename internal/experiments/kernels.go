@@ -1,0 +1,140 @@
+package experiments
+
+// Kernel benchmarks for the parallel execution and search paths, emitted
+// as machine-readable JSON by cmd/benchrunner -json. Unlike E1-E13,
+// which back the paper's tables, these track the performance trajectory
+// of the engine itself: each kernel is measured at several worker-pool
+// sizes so reports can be diffed across PRs.
+
+import (
+	"runtime"
+
+	"aggview/internal/benchjson"
+	"aggview/internal/constraints"
+	"aggview/internal/engine"
+	"aggview/internal/ir"
+)
+
+// kernelWorkerCounts returns the pool sizes to measure: serial, 2, and
+// NumCPU (when distinct). On a single-core machine this collapses to
+// {1, 2}; the report's numcpu field says so.
+func kernelWorkerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// aggOnlyQuery exercises the streaming group-fold kernel with no join:
+// one scan, many groups, float accumulation.
+const aggOnlyQuery = "SELECT Plan_Id, Month, AVG(Charge) FROM Calls GROUP BY Plan_Id, Month"
+
+// CollectKernelBench measures the parallel kernels and returns a report
+// for -json. quick shrinks scales and repetitions so the whole
+// collection stays well under ten seconds.
+func CollectKernelBench(quick bool) *benchjson.Report {
+	rep := benchjson.New(quick)
+	if rep.GoMaxProcs == 1 {
+		rep.Note("GOMAXPROCS=1: multi-worker rows measure scheduling overhead, not parallel speedup")
+	}
+	reps := 3
+	telcoScale, conjScale, searchScale := 100000, 50000, 10000
+	if quick {
+		reps = 2
+		telcoScale, conjScale, searchScale = 5000, 5000, 2000
+	}
+
+	// Engine kernels over telco: hash join + streaming aggregation
+	// (direct), view scan (rewritten), and pure group-fold (agg-only).
+	{
+		s := telcoSystem(telcoScale)
+		q, err := s.Parse(TelcoQuery)
+		if err != nil {
+			panic(err)
+		}
+		aq, err := s.Parse(aggOnlyQuery)
+		if err != nil {
+			panic(err)
+		}
+		rws, err := s.Rewritings(TelcoQuery)
+		if err != nil || len(rws) == 0 {
+			panic("telco rewriting missing")
+		}
+		for _, w := range kernelWorkerCounts() {
+			exec := func(query *ir.Query) {
+				ev := engine.NewEvaluator(s.DB, s.Views)
+				ev.Workers = w
+				if _, err := ev.Exec(query); err != nil {
+					panic(err)
+				}
+			}
+			rep.Add("telco/exec-direct", telcoScale, w,
+				bestOf(reps, func() { exec(q) }).Nanoseconds())
+			rep.Add("telco/exec-rewritten", telcoScale, w,
+				bestOf(reps, func() { exec(rws[0].Query) }).Nanoseconds())
+			rep.Add("telco/agg-group", telcoScale, w,
+				bestOf(reps, func() { exec(aq) }).Nanoseconds())
+		}
+	}
+
+	// Conjunctive-view workload: selective join with residual filters.
+	{
+		s := conjSystem(conjScale)
+		q, err := s.Parse(conjQuery)
+		if err != nil {
+			panic(err)
+		}
+		for _, w := range kernelWorkerCounts() {
+			rep.Add("conj/exec-direct", conjScale, w, bestOf(reps, func() {
+				ev := engine.NewEvaluator(s.DB, s.Views)
+				ev.Workers = w
+				if _, err := ev.Exec(q); err != nil {
+					panic(err)
+				}
+			}).Nanoseconds())
+		}
+	}
+
+	// Rewrite search: BFS candidate analysis at several pool sizes.
+	{
+		s := telcoSystem(searchScale)
+		for _, w := range kernelWorkerCounts() {
+			s.Opts.Workers = w
+			rep.Add("search/telco-rewritings", searchScale, w, bestOf(reps, func() {
+				if _, err := s.Rewritings(TelcoQuery); err != nil {
+					panic(err)
+				}
+			}).Nanoseconds())
+		}
+	}
+
+	// Closure memoization: CloseCached on the E9 workload with the cache
+	// cleared before every call versus left warm.
+	{
+		const atoms = 32
+		conj := ClosureWorkload(atoms)
+		iters := 2000
+		if quick {
+			iters = 200
+		}
+		cold := bestOf(reps, func() {
+			for i := 0; i < iters; i++ {
+				constraints.ResetCloseCache()
+				constraints.CloseCached(conj)
+			}
+		})
+		constraints.ResetCloseCache()
+		constraints.CloseCached(conj)
+		warm := bestOf(reps, func() {
+			for i := 0; i < iters; i++ {
+				constraints.CloseCached(conj)
+			}
+		})
+		rep.Add("closure/close-cold", atoms, 1, cold.Nanoseconds()/int64(iters))
+		rep.Add("closure/close-warm", atoms, 1, warm.Nanoseconds()/int64(iters))
+		rep.Note("closure memoization: cold/warm = %.1fx on a %d-atom conjunction", float64(cold)/float64(warm), atoms)
+	}
+
+	return rep
+}
