@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json quick
+.PHONY: build test race vet check bench bench-json quick soak
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,10 @@ bench-json:
 
 quick:
 	$(GO) run ./cmd/benchrunner -quick
+
+# soak runs the differential-testing oracle over a fixed seed set, both
+# rewriter configurations, and writes a failure report (empty on a clean
+# run). See DESIGN.md section 7.
+soak:
+	$(GO) run ./cmd/oraclerunner -seeds 1,2,3,4,5,6,7,8 -n 2000 -v -json ORACLE_SOAK.json
+	$(GO) run ./cmd/oraclerunner -seeds 1,2,3,4 -n 1000 -paper

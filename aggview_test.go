@@ -44,7 +44,7 @@ func TestSystemEndToEnd(t *testing.T) {
 	if used.Used[0] != "V1" {
 		t.Errorf("wrong view: %v", used.Used)
 	}
-	if !engine.MultisetEqual(direct, res) {
+	if !engine.ResultsEqualBag(direct, res) {
 		t.Fatalf("rewritten result differs:\n%s\nvs\n%s", direct.Sorted(), res.Sorted())
 	}
 }
@@ -73,7 +73,7 @@ func TestUnmaterializedViewStillWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := s.MustQuery(facadeQ)
-	if !engine.MultisetEqual(direct, res) {
+	if !engine.ResultsEqualBag(direct, res) {
 		t.Fatal("on-the-fly view expansion differs from direct evaluation")
 	}
 }
@@ -195,7 +195,7 @@ func TestRewritingsAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := s.MustQuery(facadeQ)
-	if !engine.MultisetEqual(direct, r) {
+	if !engine.ResultsEqualBag(direct, r) {
 		t.Error("ExecRewriting differs from direct execution")
 	}
 }

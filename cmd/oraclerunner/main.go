@@ -1,0 +1,164 @@
+// Oraclerunner soaks the differential-testing oracle: for each seed it
+// generates random (schema, contents, views, query) instances, executes
+// the query directly and through every rewriting the rewriter emits —
+// at worker counts 1 and GOMAXPROCS — and reports any multiset
+// inequality as a shrunk, replayable SQL script.
+//
+//	go run ./cmd/oraclerunner                          # default seeds, 200 instances each
+//	go run ./cmd/oraclerunner -seeds 1,2,3 -n 1000     # fixed budget per seed
+//	go run ./cmd/oraclerunner -duration 5m             # soak: cycle seeds until the clock runs out
+//	go run ./cmd/oraclerunner -paper                   # paper-faithful rewriter configuration
+//	go run ./cmd/oraclerunner -json ORACLE.json        # machine-readable failure report
+//	go run ./cmd/oraclerunner -replay repro.sql        # re-check one failure script
+//
+// Exit status is nonzero when any violation was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aggview/internal/benchjson"
+	"aggview/internal/oracle"
+)
+
+func main() {
+	seedsFlag := flag.String("seeds", "1,2,3,4", "comma-separated generator seeds")
+	n := flag.Int("n", 200, "instances per seed (ignored under -duration)")
+	rows := flag.Int("rows", 0, "max rows per generated table (0: generator default)")
+	duration := flag.Duration("duration", 0, "soak length; cycles seeds until elapsed (0: -n instances per seed)")
+	paper := flag.Bool("paper", false, "check the paper-faithful rewriter configuration")
+	jsonOut := flag.String("json", "", "write a failure report to this file")
+	replay := flag.String("replay", "", "re-check a single repro script instead of soaking")
+	verbose := flag.Bool("v", false, "log per-seed progress")
+	flag.Parse()
+
+	if err := run(*seedsFlag, *n, *rows, *duration, *paper, *jsonOut, *replay, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "oraclerunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, jsonOut, replay string, verbose bool) error {
+	opt := oracle.Options{PaperFaithful: paper}
+	if replay != "" {
+		return runReplay(replay, opt)
+	}
+	seeds, err := parseSeeds(seedsFlag)
+	if err != nil {
+		return err
+	}
+
+	rep := benchjson.NewOracle()
+	rep.Seeds = seeds
+	rep.PaperFaithful = paper
+	gen := oracle.GenOptions{MaxRows: rows}
+
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	for round := 0; ; round++ {
+		for _, seed := range seeds {
+			rng := rand.New(rand.NewSource(seed + int64(round)*1_000_003))
+			for trial := 0; trial < n; trial++ {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return finish(rep, jsonOut)
+				}
+				c := oracle.Generate(rng, gen)
+				out, err := oracle.Check(c, opt)
+				if err != nil {
+					return fmt.Errorf("seed %d trial %d: case rejected: %w\nscript:\n%s", seed, trial, err, c.Script())
+				}
+				rep.Instances++
+				rep.Rewritings += out.Rewritings
+				if out.OK() {
+					continue
+				}
+				min := oracle.Shrink(c, opt)
+				v := out.Violations[0]
+				rep.Failures = append(rep.Failures, benchjson.OracleFailure{
+					Seed:    seed,
+					Trial:   trial,
+					Workers: v.Workers,
+					Used:    v.Used,
+					Detail:  v.String(),
+					Script:  min.Script(),
+				})
+				fmt.Fprintf(os.Stderr, "VIOLATION seed=%d trial=%d\n%s\nminimal repro script:\n%s\n",
+					seed, trial, v.String(), min.Script())
+			}
+			if verbose {
+				fmt.Fprintf(os.Stderr, "seed %d round %d: %d instances, %d rewritings, %d failures so far\n",
+					seed, round, rep.Instances, rep.Rewritings, len(rep.Failures))
+			}
+		}
+		if deadline.IsZero() {
+			return finish(rep, jsonOut)
+		}
+	}
+}
+
+// finish writes the report and converts failures into a nonzero exit.
+func finish(rep *benchjson.OracleReport, jsonOut string) error {
+	if jsonOut != "" {
+		if err := rep.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote oracle report to %s\n", jsonOut)
+	}
+	fmt.Printf("oracle: %d instances, %d rewritings, %d violations\n",
+		rep.Instances, rep.Rewritings, len(rep.Failures))
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d equivalence violations", len(rep.Failures))
+	}
+	return nil
+}
+
+// runReplay re-checks one failure script.
+func runReplay(path string, opt oracle.Options) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	c, err := oracle.Replay(string(data))
+	if err != nil {
+		return err
+	}
+	out, err := oracle.Check(c, opt)
+	if err != nil {
+		return err
+	}
+	if !out.OK() {
+		for _, v := range out.Violations {
+			fmt.Fprintln(os.Stderr, v.String())
+		}
+		return fmt.Errorf("%d violations reproduced", len(out.Violations))
+	}
+	fmt.Printf("script passed: %d rewritings, all equivalent\n", out.Rewritings)
+	return nil
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return out, nil
+}

@@ -88,7 +88,7 @@ func TestLogicalViewFlattening(t *testing.T) {
 		t.Fatalf("expected flatten + rewrite to the summary view, used=%v", used)
 	}
 	direct := s.MustQuery(q)
-	if !engine.MultisetEqual(direct, res) {
+	if !engine.ResultsEqualBag(direct, res) {
 		t.Fatalf("flattened plan differs:\n%s\nvs\n%s", res.Sorted(), direct.Sorted())
 	}
 }
@@ -170,7 +170,7 @@ func TestAdviseAndAdoptViaFacade(t *testing.T) {
 		t.Fatal("adopted view should answer the workload")
 	}
 	direct := s.MustQuery(workload[0])
-	if !engine.MultisetEqual(res, direct) {
+	if !engine.ResultsEqualBag(res, direct) {
 		t.Fatal("adopted-view answer differs")
 	}
 	// Bad workload query surfaces an error.

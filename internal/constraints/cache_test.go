@@ -1,0 +1,121 @@
+package constraints
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// conjN builds a distinct single-atom conjunction per n (x0 = n), so
+// each n occupies its own cache slot.
+func conjN(n int64) Conj { return Conj{eq(vi(0), ci(n))} }
+
+// TestCloseCachedEvictionBoundary fills the cache to exactly its
+// capacity, verifies nothing was evicted, then inserts one more entry
+// and verifies FIFO displaced precisely the oldest one.
+func TestCloseCachedEvictionBoundary(t *testing.T) {
+	ResetCloseCache()
+	defer ResetCloseCache()
+
+	// Fill to exactly closeCacheCap distinct conjunctions.
+	for n := int64(0); n < closeCacheCap; n++ {
+		CloseCached(conjN(n))
+	}
+	hits, misses, size := CloseCacheStats()
+	if size != closeCacheCap {
+		t.Fatalf("size after filling to capacity = %d, want %d", size, closeCacheCap)
+	}
+	if hits != 0 || misses != closeCacheCap {
+		t.Fatalf("counters after fill: hits=%d misses=%d, want 0/%d", hits, misses, closeCacheCap)
+	}
+
+	// At exactly capacity every entry — oldest and newest — must still
+	// be resident.
+	first := CloseCached(conjN(0))
+	last := CloseCached(conjN(closeCacheCap - 1))
+	if hits, _, _ := CloseCacheStats(); hits != 2 {
+		t.Fatalf("boundary probes should both hit, hits=%d", hits)
+	}
+
+	// One past capacity: FIFO evicts the oldest entry only.
+	CloseCached(conjN(closeCacheCap))
+	if _, _, size := CloseCacheStats(); size != closeCacheCap {
+		t.Fatalf("size after overflow = %d, want to stay at %d", size, closeCacheCap)
+	}
+	_, missesBefore, _ := CloseCacheStats()
+	if got := CloseCached(conjN(0)); got == first {
+		t.Fatal("oldest entry must have been evicted after overflow")
+	}
+	if got := CloseCached(conjN(closeCacheCap - 1)); got != last {
+		t.Fatal("only the oldest entry should be evicted; newer ones must survive")
+	}
+	if got := CloseCached(conjN(closeCacheCap)); got == nil {
+		t.Fatal("freshly inserted entry missing")
+	}
+	_, missesAfter, _ := CloseCacheStats()
+	if delta := missesAfter - missesBefore; delta != 1 {
+		t.Fatalf("exactly the evicted key should re-miss, got %d new misses", delta)
+	}
+
+	// The re-inserted conjN(0) displaced the next ring slot (conjN(1)),
+	// keeping the population exactly at capacity.
+	if _, _, size := CloseCacheStats(); size != closeCacheCap {
+		t.Fatalf("size drifted to %d after re-insert", size)
+	}
+}
+
+// TestCloseCachedSemanticsSurviveEviction checks that a closure fetched
+// after its twin was evicted still behaves identically: memoization is
+// an optimization, never a semantic change.
+func TestCloseCachedSemanticsSurviveEviction(t *testing.T) {
+	ResetCloseCache()
+	defer ResetCloseCache()
+
+	c := Conj{eq(vi(0), ci(7)), eq(vi(0), vi(1))}
+	before := CloseCached(c)
+	// Force eviction of c by flooding the cache with cap distinct keys.
+	for n := int64(0); n < closeCacheCap; n++ {
+		CloseCached(conjN(n + 1000))
+	}
+	after := CloseCached(c)
+	if after == before {
+		t.Fatal("expected a recomputed closure after flooding")
+	}
+	if before.Sat() != after.Sat() {
+		t.Fatal("recomputed closure disagrees on satisfiability")
+	}
+	ab, aa := before.Atoms(), after.Atoms()
+	if fmt.Sprint(ab) != fmt.Sprint(aa) {
+		t.Fatalf("recomputed closure differs:\n%v\nvs\n%v", ab, aa)
+	}
+}
+
+// TestCloseCachedConcurrent exercises the lock discipline under -race:
+// concurrent hits, misses and evictions on overlapping key sets.
+func TestCloseCachedConcurrent(t *testing.T) {
+	ResetCloseCache()
+	defer ResetCloseCache()
+
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Overlapping ranges: every key is requested by at least
+				// two goroutines, mixing hits with racing misses.
+				cl := CloseCached(conjN(int64((g/2)*perG + i)))
+				if cl == nil || !cl.Sat() {
+					t.Errorf("g%d: bad closure for %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, size := CloseCacheStats(); size == 0 || size > closeCacheCap {
+		t.Fatalf("cache size out of bounds: %d", size)
+	}
+}

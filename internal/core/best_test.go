@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"aggview/internal/ir"
+)
+
+// TestBestNoRewritings is the regression test for the nil-rewriting
+// path: with no usable view, Best must return nil without ever invoking
+// the caller's cost function (a cost model may legitimately assume it
+// only sees view-shaped candidate plans).
+func TestBestNoRewritings(t *testing.T) {
+	// A view over R2 can never answer a query over R1 alone.
+	rw := newRewriter(t, map[string]string{"V": "SELECT E, F FROM R2"}, Options{})
+	q := ir.MustBuild("SELECT A, SUM(B) FROM R1 GROUP BY A", ir.MultiSource{tables(), rw.Views})
+
+	if rws := rw.Rewritings(q); len(rws) != 0 {
+		t.Fatalf("precondition: expected no rewritings, got %d", len(rws))
+	}
+
+	calls := 0
+	got := rw.Best(q, func(*ir.Query) float64 {
+		calls++
+		panic("cost function must not run when there are no candidates")
+	})
+	if got != nil {
+		t.Fatalf("Best must return nil without candidates, got %v", got.Used)
+	}
+	if calls != 0 {
+		t.Fatalf("cost function invoked %d times on an empty candidate set", calls)
+	}
+
+	// The nil-cost default path must also survive an empty candidate set.
+	if got := rw.Best(q, nil); got != nil {
+		t.Fatalf("Best(nil cost) must return nil without candidates, got %v", got.Used)
+	}
+}
+
+// TestBestPicksCheapest pins the basic contract on the non-empty path,
+// so the early return cannot regress into skipping real candidates.
+func TestBestPicksCheapest(t *testing.T) {
+	rw := newRewriter(t, map[string]string{
+		"V": "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+	}, Options{})
+	q := ir.MustBuild("SELECT A, SUM(C) FROM R1 GROUP BY A", ir.MultiSource{tables(), rw.Views})
+	best := rw.Best(q, nil)
+	if best == nil {
+		t.Fatal("expected a rewriting")
+	}
+	if len(best.Used) == 0 || best.Used[0] != "V" {
+		t.Fatalf("expected the view-based plan, used=%v", best.Used)
+	}
+}

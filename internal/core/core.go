@@ -250,6 +250,13 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 // function receives each candidate's query; a nil cost function ranks by
 // the number of base-table occurrences remaining.
 func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
+	rws := rw.Rewritings(q)
+	if len(rws) == 0 {
+		// No candidates: don't touch the cost function at all, so a
+		// caller-supplied cost that assumes view-shaped queries is never
+		// invoked on nothing.
+		return nil
+	}
 	if cost == nil {
 		cost = func(q *ir.Query) float64 {
 			n := 0.0
@@ -264,7 +271,7 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 	var best *Rewriting
 	bestCost := 0.0
 	bestKey := ""
-	for _, r := range rw.Rewritings(q) {
+	for _, r := range rws {
 		c := cost(r.Query)
 		switch {
 		case best == nil || c < bestCost:

@@ -84,13 +84,13 @@ func verify(t *testing.T, rw *Rewriter, q *ir.Query, r *Rewriting, db *engine.DB
 	if r.SetOnly {
 		wantS, _ := engine.NewEvaluator(db, reg).Exec(distinctOf(q))
 		gotS, _ := engine.NewEvaluator(db, reg).Exec(distinctOf(r.Query))
-		if !engine.MultisetEqual(wantS, gotS) {
+		if !engine.ResultsEqualBag(wantS, gotS) {
 			t.Fatalf("set-semantics rewriting differs\noriginal: %s\nrewritten: %s\nwant:\n%s\ngot:\n%s",
 				q.SQL(), r.SQL(), wantS.Sorted(), gotS.Sorted())
 		}
 		return
 	}
-	if !engine.MultisetEqual(want, got) {
+	if !engine.ResultsEqualBag(want, got) {
 		t.Fatalf("rewriting is not multiset-equivalent\noriginal: %s\nrewritten: %s\nwant:\n%s\ngot:\n%s",
 			q.SQL(), r.SQL(), want.Sorted(), got.Sorted())
 	}

@@ -190,37 +190,9 @@ func verifyFuzz(t *testing.T, rw *Rewriter, q *ir.Query, r *Rewriting, db *engin
 		t.Fatalf("rewriting failed: %v\n  view:  %s\n  query: %s\n  Q': %s", err, viewSQL, querySQL, r.SQL())
 	}
 	// AVG and SUM-via-AVG rewritings may produce floats where the
-	// original produced ints; compare through float rendering.
-	if !multisetEqualNumeric(want, got) {
+	// original produced ints; compare with the float-aware bag equality.
+	if !engine.ResultsEqualBag(want, got) {
 		t.Fatalf("NOT EQUIVALENT\n  view:  %s\n  query: %s\n  Q':    %s\n  want:\n%s\n  got:\n%s",
 			viewSQL, querySQL, r.SQL(), want.Sorted(), got.Sorted())
 	}
-}
-
-// multisetEqualNumeric is engine.MultisetEqual with int/float
-// unification plus a small epsilon for AVG reconstructions.
-func multisetEqualNumeric(a, b *engine.Relation) bool {
-	if engine.MultisetEqual(a, b) {
-		return true
-	}
-	if len(a.Tuples) != len(b.Tuples) || len(a.Attrs) != len(b.Attrs) {
-		return false
-	}
-	as, bs := a.Sorted(), b.Sorted()
-	for i := range as.Tuples {
-		for j := range as.Tuples[i] {
-			x, y := as.Tuples[i][j], bs.Tuples[i][j]
-			if x.IsNumeric() && y.IsNumeric() {
-				dx := x.AsFloat() - y.AsFloat()
-				if dx < -1e-9 || dx > 1e-9 {
-					return false
-				}
-				continue
-			}
-			if x.Key() != y.Key() {
-				return false
-			}
-		}
-	}
-	return true
 }

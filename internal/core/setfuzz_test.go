@@ -114,13 +114,13 @@ func TestFuzzSetSemantics(t *testing.T) {
 					dq.Distinct, dr.Distinct = true, true
 					ws, _ := engine.NewEvaluator(db, reg).Exec(dq)
 					gs, _ := engine.NewEvaluator(db, reg).Exec(dr)
-					if !engine.MultisetEqual(ws, gs) {
+					if !engine.ResultsEqualBag(ws, gs) {
 						t.Fatalf("set-equivalence violated\n view: %s\n query: %s\n Q': %s\nwant:\n%s\ngot:\n%s",
 							viewSQL, querySQL, r.Query.SQL(), ws.Sorted(), gs.Sorted())
 					}
 					continue
 				}
-				if !engine.MultisetEqual(want, got) {
+				if !engine.ResultsEqualBag(want, got) {
 					t.Fatalf("bag-equivalence violated\n view: %s\n query: %s\n Q': %s", viewSQL, querySQL, r.Query.SQL())
 				}
 			}

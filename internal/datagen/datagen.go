@@ -14,6 +14,37 @@ import (
 	"aggview/internal/value"
 )
 
+// RandomRow produces one tuple of the given width, drawing each value
+// from gen (which receives the column position, so per-column
+// distributions compose). It is the building block shared by the
+// micro-schema fillers and the oracle's random-table generator.
+func RandomRow(rng *rand.Rand, width int, gen func(rng *rand.Rand, col int) value.Value) []value.Value {
+	row := make([]value.Value, width)
+	for c := range row {
+		row[c] = gen(rng, c)
+	}
+	return row
+}
+
+// RandomRelation builds a relation of n rows over the given attributes,
+// with values drawn from gen.
+func RandomRelation(rng *rand.Rand, attrs []string, n int, gen func(rng *rand.Rand, col int) value.Value) *engine.Relation {
+	rel := engine.NewRelation(attrs...)
+	for i := 0; i < n; i++ {
+		rel.Add(RandomRow(rng, len(attrs), gen)...)
+	}
+	return rel
+}
+
+// UniformInts returns a value generator drawing integers uniformly from
+// [0, domain); small domains force the value collisions that grouping
+// and join workloads need.
+func UniformInts(domain int) func(rng *rand.Rand, col int) value.Value {
+	return func(rng *rand.Rand, _ int) value.Value {
+		return value.Int(int64(rng.Intn(domain)))
+	}
+}
+
 // TelcoConfig sizes the telephony warehouse.
 type TelcoConfig struct {
 	Plans     int
@@ -139,26 +170,18 @@ func R1R2(cfg R1R2Config) *engine.DB {
 		cfg.Domain = 4
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := UniformInts(cfg.Domain)
 	db := engine.NewDB()
 	r1 := engine.NewRelation("A", "B", "C", "D")
 	for i := 0; i < cfg.R1Rows; i++ {
-		row := []value.Value{
-			value.Int(int64(rng.Intn(cfg.Domain))),
-			value.Int(int64(rng.Intn(cfg.Domain))),
-			value.Int(int64(rng.Intn(cfg.Domain))),
-			value.Int(int64(rng.Intn(cfg.Domain))),
-		}
+		row := RandomRow(rng, 4, gen)
 		r1.Add(row...)
 		if cfg.DupRate > 0 && rng.Intn(cfg.DupRate) == 0 {
 			r1.Add(row...)
 		}
 	}
 	db.Put("R1", r1)
-	r2 := engine.NewRelation("E", "F")
-	for i := 0; i < cfg.R2Rows; i++ {
-		r2.Add(value.Int(int64(rng.Intn(cfg.Domain))), value.Int(int64(rng.Intn(cfg.Domain))))
-	}
-	db.Put("R2", r2)
+	db.Put("R2", RandomRelation(rng, []string{"E", "F"}, cfg.R2Rows, gen))
 	return db
 }
 

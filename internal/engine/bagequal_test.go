@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"testing"
+
+	"aggview/internal/value"
+)
+
+func bagRel(attrs []string, rows ...[]value.Value) *Relation {
+	r := NewRelation(attrs...)
+	for _, row := range rows {
+		r.Add(row...)
+	}
+	return r
+}
+
+func TestResultsEqualBag(t *testing.T) {
+	iv := func(i int64) value.Value { return value.Int(i) }
+	fv := func(f float64) value.Value { return value.Float(f) }
+
+	t.Run("order insensitive", func(t *testing.T) {
+		a := bagRel([]string{"X", "Y"}, []value.Value{iv(1), iv(2)}, []value.Value{iv(3), iv(4)})
+		b := bagRel([]string{"X", "Y"}, []value.Value{iv(3), iv(4)}, []value.Value{iv(1), iv(2)})
+		if !ResultsEqualBag(a, b) {
+			t.Error("row order must not matter")
+		}
+	})
+
+	t.Run("multiplicity matters", func(t *testing.T) {
+		a := bagRel([]string{"X"}, []value.Value{iv(1)}, []value.Value{iv(1)})
+		b := bagRel([]string{"X"}, []value.Value{iv(1)})
+		if ResultsEqualBag(a, b) {
+			t.Error("duplicate counts must be compared")
+		}
+	})
+
+	t.Run("int float unify", func(t *testing.T) {
+		a := bagRel([]string{"S"}, []value.Value{iv(6)})
+		b := bagRel([]string{"S"}, []value.Value{fv(6.0)})
+		if !ResultsEqualBag(a, b) {
+			t.Error("6 and 6.0 are the same aggregate result")
+		}
+	})
+
+	t.Run("relative epsilon", func(t *testing.T) {
+		a := bagRel([]string{"S"}, []value.Value{fv(1e12)})
+		b := bagRel([]string{"S"}, []value.Value{fv(1e12 + 1e2)})
+		if !ResultsEqualBag(a, b) {
+			t.Error("relative tolerance should absorb last-bits drift at large magnitude")
+		}
+		c := bagRel([]string{"S"}, []value.Value{fv(1.0)})
+		d := bagRel([]string{"S"}, []value.Value{fv(1.5)})
+		if ResultsEqualBag(c, d) {
+			t.Error("1.0 vs 1.5 is a real difference")
+		}
+	})
+
+	t.Run("strings exact", func(t *testing.T) {
+		a := bagRel([]string{"N"}, []value.Value{value.Str("x")})
+		b := bagRel([]string{"N"}, []value.Value{value.Str("y")})
+		if ResultsEqualBag(a, b) {
+			t.Error("distinct strings must not match")
+		}
+		if !ResultsEqualBag(a, bagRel([]string{"N"}, []value.Value{value.Str("x")})) {
+			t.Error("identical strings must match")
+		}
+	})
+
+	t.Run("mixed kinds never match", func(t *testing.T) {
+		a := bagRel([]string{"N"}, []value.Value{value.Str("1")})
+		b := bagRel([]string{"N"}, []value.Value{iv(1)})
+		if ResultsEqualBag(a, b) {
+			t.Error("string '1' is not the number 1")
+		}
+	})
+
+	t.Run("nil means empty", func(t *testing.T) {
+		if !ResultsEqualBag(nil, nil) {
+			t.Error("nil vs nil")
+		}
+		if !ResultsEqualBag(nil, bagRel([]string{"X"})) {
+			t.Error("nil vs empty relation")
+		}
+		if ResultsEqualBag(nil, bagRel([]string{"X"}, []value.Value{iv(1)})) {
+			t.Error("nil vs non-empty")
+		}
+	})
+
+	t.Run("width mismatch", func(t *testing.T) {
+		a := bagRel([]string{"X"}, []value.Value{iv(1)})
+		b := bagRel([]string{"X", "Y"}, []value.Value{iv(1), iv(2)})
+		if ResultsEqualBag(a, b) {
+			t.Error("different arities cannot be equal")
+		}
+	})
+
+	t.Run("attribute names ignored", func(t *testing.T) {
+		a := bagRel([]string{"X"}, []value.Value{iv(1)})
+		b := bagRel([]string{"renamed"}, []value.Value{iv(1)})
+		if !ResultsEqualBag(a, b) {
+			t.Error("only positions and values matter")
+		}
+	})
+
+	t.Run("near floats across rows", func(t *testing.T) {
+		// Two rows whose float results drift in opposite directions must
+		// still pair up after canonical sorting.
+		a := bagRel([]string{"G", "A"},
+			[]value.Value{iv(1), fv(2.0)},
+			[]value.Value{iv(2), fv(3.0)})
+		b := bagRel([]string{"G", "A"},
+			[]value.Value{iv(2), fv(3.0 + 1e-12)},
+			[]value.Value{iv(1), fv(2.0 - 1e-12)})
+		if !ResultsEqualBag(a, b) {
+			t.Error("per-row drift within epsilon should be accepted")
+		}
+	})
+}

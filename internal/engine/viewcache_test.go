@@ -107,3 +107,84 @@ func TestViewCacheConcurrentExec(t *testing.T) {
 		t.Fatalf("view definition fetched %d times under concurrency, want exactly 1", got)
 	}
 }
+
+// TestViewCacheSingleflightManyViews races many goroutines over several
+// distinct views at once: each view must be materialized exactly once
+// (singleflight per entry, not one global latch), and materializing one
+// view must not block goroutines resolving a different one from making
+// progress toward correct results.
+func TestViewCacheSingleflightManyViews(t *testing.T) {
+	db := NewDB()
+	r := NewRelation("A", "B")
+	for i := 0; i < 5000; i++ {
+		r.Add(iv(int64(i%11)), iv(int64(i)))
+	}
+	db.Put("R1", r)
+
+	tables := ir.MapSource{"R1": {"A", "B"}}
+	reg := ir.NewRegistry()
+	viewNames := []string{"VSum", "VCnt", "VMin", "VMax"}
+	defs := map[string]string{
+		"VSum": "SELECT A, SUM(B) FROM R1 GROUP BY A",
+		"VCnt": "SELECT A, COUNT(B) FROM R1 GROUP BY A",
+		"VMin": "SELECT A, MIN(B) FROM R1 GROUP BY A",
+		"VMax": "SELECT A, MAX(B) FROM R1 GROUP BY A",
+	}
+	for _, name := range viewNames {
+		vd, err := ir.NewViewDef(name, ir.MustBuild(defs[name], tables))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add(vd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cv := &countingViews{reg: reg, gets: map[string]int{}}
+	source := ir.MultiSource{tables, reg}
+
+	outCols := map[string]string{
+		"VSum": "sum_B", "VCnt": "count_B", "VMin": "min_B", "VMax": "max_B",
+	}
+	queries := make([]*ir.Query, len(viewNames))
+	wants := make([]*Relation, len(viewNames))
+	for i, name := range viewNames {
+		queries[i] = ir.MustBuild("SELECT A, "+outCols[name]+" FROM "+name, source)
+		want, err := NewEvaluator(db, reg).Exec(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	ev := NewEvaluator(db, cv)
+	ev.Workers = 4
+	const goroutines = 24
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(viewNames)
+			got, err := ev.Exec(queries[i])
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !MultisetEqual(got, wants[i]) {
+				errs[g] = fmt.Errorf("goroutine %d: %s result differs from reference", g, viewNames[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range viewNames {
+		if got := cv.gets[name]; got != 1 {
+			t.Fatalf("view %s fetched %d times under concurrency, want exactly 1", name, got)
+		}
+	}
+}

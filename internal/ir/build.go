@@ -137,11 +137,20 @@ func buildInto(sel *sqlparser.Select, src SchemaSource, anon *Registry, counter 
 		b.q.Where = append(b.q.Where, p)
 	}
 
+	seenGroup := map[ColID]bool{}
 	for _, g := range sel.GroupBy {
 		id, err := b.column(g)
 		if err != nil {
 			return nil, err
 		}
+		// Repeating a grouping column is at best redundant and usually a
+		// typo'd query; internally-constructed queries (where rewrite
+		// column mappings can legitimately merge GroupBy entries) do not
+		// pass through this builder.
+		if seenGroup[id] {
+			return nil, fmt.Errorf("ir: duplicate GROUP BY column %s", b.q.Col(id).Name)
+		}
+		seenGroup[id] = true
 		b.q.GroupBy = append(b.q.GroupBy, id)
 	}
 

@@ -1,0 +1,51 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildErrorMessageStability pins the text of the semantic errors
+// the builder reports for the paper-relevant misuse shapes. The oracle
+// and user tooling key on these strings.
+func TestBuildErrorMessageStability(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{
+			name: "aggregate inside WHERE",
+			sql:  "SELECT A FROM R1 WHERE SUM(B) > 3",
+			want: "ir: WHERE terms must be columns or constants, found SUM(B)",
+		},
+		{
+			name: "duplicate GROUP BY column",
+			sql:  "SELECT A, SUM(B) FROM R1 GROUP BY A, A",
+			want: "ir: duplicate GROUP BY column",
+		},
+		{
+			name: "duplicate GROUP BY via alias spelling",
+			sql:  "SELECT A, COUNT(B) FROM R1 GROUP BY A, R1.A",
+			want: "ir: duplicate GROUP BY column",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := buildErr(t, tc.sql)
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Build(%q) error = %q, want it to contain %q", tc.sql, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGroupByDistinctColumnsStillAllowed guards against the duplicate
+// check overreaching: distinct columns that merely share an attribute
+// prefix must build fine.
+func TestGroupByDistinctColumnsStillAllowed(t *testing.T) {
+	q := build(t, "SELECT A, B, COUNT(C) FROM R1 GROUP BY A, B")
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("expected 2 grouping columns, got %d", len(q.GroupBy))
+	}
+}

@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"aggview"
+	"aggview/internal/core"
+	"aggview/internal/engine"
+)
+
+// Options configures a differential check.
+type Options struct {
+	// Workers lists the engine worker counts each execution runs at;
+	// default {1, 0} (serial and GOMAXPROCS), so a nondeterministic
+	// parallel kernel is caught as a violation too.
+	Workers []int
+	// MaxRewritings caps the enumeration per query (default 16 — deep
+	// BFS tails repeat the same view shapes and add little evidence).
+	MaxRewritings int
+	// PaperFaithful checks the paper-faithful rewriter configuration.
+	PaperFaithful bool
+	// Tamper, when set, mutates each rewriting before execution. It
+	// exists for fault injection: tests break an S1–S4 step on purpose
+	// and assert the checker notices.
+	Tamper func(*core.Rewriting)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 0}
+	}
+	if o.MaxRewritings == 0 {
+		o.MaxRewritings = 16
+	}
+	return o
+}
+
+// Violation is one observed inequivalence (or execution failure).
+type Violation struct {
+	// Workers is the engine worker count the violation appeared at.
+	Workers int
+	// Used names the views of the offending rewriting; empty when the
+	// direct execution itself misbehaved across worker counts.
+	Used []string
+	// RewritingSQL is the rewritten query (with auxiliary views), or
+	// the original query for direct-execution violations.
+	RewritingSQL string
+	// Err is set when execution failed outright.
+	Err error
+	// Want and Got are the direct and the rewritten results; nil when
+	// Err is set.
+	Want, Got *engine.Relation
+}
+
+func (v *Violation) String() string {
+	if v.Err != nil {
+		return fmt.Sprintf("workers=%d using=%v: execution failed: %v", v.Workers, v.Used, v.Err)
+	}
+	return fmt.Sprintf("workers=%d using=%v: results differ\n  rewriting: %s\n  want:\n%s\n  got:\n%s",
+		v.Workers, v.Used, v.RewritingSQL, indent(v.Want.Sorted().String()), indent(v.Got.Sorted().String()))
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}
+
+// Outcome reports what one Check observed.
+type Outcome struct {
+	// Rewritings is the number of rewritings the rewriter emitted.
+	Rewritings int
+	// Violations lists every inequivalence found (empty: case passed).
+	Violations []Violation
+}
+
+// OK reports whether the case held.
+func (o *Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// Check executes the case's query directly and via every rewriting the
+// rewriter emits, at every configured worker count, and records each
+// multiset inequality as a violation. The returned error reports a case
+// that could not be set up at all (schema or view rejected) — a
+// generator defect, not an equivalence violation.
+func Check(c *Case, opt Options) (*Outcome, error) {
+	opt = opt.withDefaults()
+	sys, err := c.Compile(aggview.Options{
+		PaperFaithful: opt.PaperFaithful,
+		MaxRewritings: opt.MaxRewritings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sql := c.Query.SQL()
+
+	// Reference: direct execution, serial.
+	sys.Opts.Workers = 1
+	ref, err := sys.Query(sql)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: direct execution: %w", err)
+	}
+	out := &Outcome{}
+
+	// The direct plan must agree with itself at every worker count
+	// (PR 1's determinism contract).
+	for _, w := range opt.Workers {
+		if w == 1 {
+			continue
+		}
+		sys.Opts.Workers = w
+		got, err := sys.Query(sql)
+		if err != nil {
+			out.Violations = append(out.Violations, Violation{Workers: w, RewritingSQL: sql, Err: err})
+			continue
+		}
+		if !engine.ResultsEqualBag(ref, got) {
+			out.Violations = append(out.Violations, Violation{
+				Workers: w, RewritingSQL: sql, Want: ref, Got: got,
+			})
+		}
+	}
+
+	rws, err := sys.Rewritings(sql)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: enumerating rewritings: %w", err)
+	}
+	out.Rewritings = len(rws)
+	for _, r := range rws {
+		if opt.Tamper != nil {
+			opt.Tamper(r)
+		}
+		for _, w := range opt.Workers {
+			sys.Opts.Workers = w
+			got, err := sys.ExecRewriting(r)
+			if err != nil {
+				out.Violations = append(out.Violations, Violation{
+					Workers: w, Used: r.Used, RewritingSQL: r.SQL(), Err: err,
+				})
+				continue
+			}
+			want := ref
+			if r.SetOnly {
+				// Section 5 rewritings promise equivalence of the result
+				// sets; compare after deduplication so a key-derived
+				// set-result proof is not held to a stronger contract
+				// than the paper states.
+				want, got = dedup(want), dedup(got)
+			}
+			if !engine.ResultsEqualBag(want, got) {
+				out.Violations = append(out.Violations, Violation{
+					Workers: w, Used: r.Used, RewritingSQL: r.SQL(), Want: want, Got: got,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// dedup drops duplicate tuples (set projection of a relation).
+func dedup(r *engine.Relation) *engine.Relation {
+	out := engine.NewRelation(r.Attrs...)
+	seen := map[string]bool{}
+	for _, t := range r.Tuples {
+		var b strings.Builder
+		for _, v := range t {
+			b.WriteString(v.Key())
+			b.WriteByte(0)
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out.Add(t...)
+		}
+	}
+	return out
+}

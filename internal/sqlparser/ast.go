@@ -244,6 +244,40 @@ type CreateView struct {
 
 func (*CreateView) stmt() {}
 
+// Insert loads literal rows into a base table:
+//
+//	INSERT INTO R1 VALUES (1, 2.5, 'x'), (3, -4, 'y')
+//
+// Only literal tuples are supported — the scripts the differential
+// oracle emits (and replays) carry their data inline.
+type Insert struct {
+	Table string
+	Rows  [][]value.Value
+}
+
+func (*Insert) stmt() {}
+
+// SQL renders the statement back to script text. String values must not
+// contain single quotes (the dialect has no escape syntax).
+func (ins *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + ins.Table + " VALUES ")
+	for i, row := range ins.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(v.String()) // Value.String quotes strings
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
 // QueryStatement is a bare SELECT to be rewritten/evaluated.
 type QueryStatement struct {
 	Query *Select

@@ -1,0 +1,62 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrorMessageStability pins the exact text of user-facing parse
+// errors: tools (and the differential oracle's shrinker) match on these
+// strings, so a rewording is an API break, not a cosmetic change.
+func TestErrorMessageStability(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{
+			name: "unterminated string",
+			sql:  "SELECT A FROM R WHERE A = 'oops",
+			want: "unterminated string literal",
+		},
+		{
+			name: "unterminated string offset",
+			sql:  "SELECT A FROM R WHERE A = 'oops",
+			// The offset points at the opening quote, line counting at 1.
+			want: "line 1 (offset 26): unterminated string literal",
+		},
+		{
+			name: "disjunction unsupported",
+			sql:  "SELECT A FROM R WHERE A = 1 OR B = 2",
+			want: "is not supported: conditions must be conjunctions of comparisons",
+		},
+		{
+			name: "star aggregate",
+			sql:  "SELECT MIN(*) FROM R",
+			want: "MIN(*) is not valid SQL; only COUNT(*)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error", tc.sql)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %q, want it to contain %q", tc.sql, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnterminatedStringMultiline checks the reported line number tracks
+// newlines preceding the bad literal.
+func TestUnterminatedStringMultiline(t *testing.T) {
+	_, err := Parse("SELECT A\nFROM R\nWHERE A = 'dangling")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "unterminated string literal") {
+		t.Fatalf("error = %q, want line 3 unterminated-string", err)
+	}
+}

@@ -1,0 +1,65 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"aggview/internal/value"
+)
+
+func TestParseInsert(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE TABLE T(A, B, C);
+		INSERT INTO T VALUES (1, 2.5, 'x'), (-3, -0.5, 'y');
+		SELECT A FROM T;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("expected 3 statements, got %d", len(stmts))
+	}
+	ins, ok := stmts[1].(*Insert)
+	if !ok {
+		t.Fatalf("statement 1 is %T, want *Insert", stmts[1])
+	}
+	if ins.Table != "T" || len(ins.Rows) != 2 {
+		t.Fatalf("bad insert: table=%s rows=%d", ins.Table, len(ins.Rows))
+	}
+	want := [][]value.Value{
+		{value.Int(1), value.Float(2.5), value.Str("x")},
+		{value.Int(-3), value.Float(-0.5), value.Str("y")},
+	}
+	for i, row := range want {
+		for j, v := range row {
+			if ins.Rows[i][j].Key() != v.Key() {
+				t.Fatalf("row %d col %d = %s, want %s", i, j, ins.Rows[i][j], v)
+			}
+		}
+	}
+
+	// Round trip: rendering re-parses to the same rows.
+	again, err := ParseScript(ins.SQL())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", ins.SQL(), err)
+	}
+	ins2 := again[0].(*Insert)
+	if len(ins2.Rows) != len(ins.Rows) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(ins2.Rows), len(ins.Rows))
+	}
+}
+
+func TestParseInsertErrors(t *testing.T) {
+	bad := []string{
+		"INSERT T VALUES (1)",             // missing INTO
+		"INSERT INTO T (1)",               // missing VALUES
+		"INSERT INTO T VALUES (1), (1,2)", // mixed widths
+		"INSERT INTO T VALUES (A)",        // non-literal
+		"INSERT INTO T VALUES (-'x')",     // negated string
+		"INSERT INTO T VALUES ()",         // empty tuple
+	}
+	for _, src := range bad {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q): expected error", src)
+		}
+	}
+}

@@ -132,11 +132,99 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, p.unexpected("'TABLE' or 'VIEW' after CREATE")
 		}
 	}
+	if p.accept("INSERT") {
+		return p.parseInsert()
+	}
 	sel, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
 	return &QueryStatement{Query: sel}, nil
+}
+
+// parseInsert parses INSERT INTO name VALUES (lit, ...), (...) with the
+// INSERT keyword already consumed. Rows must be literal tuples of equal
+// width.
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		var row []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.i++
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if len(ins.Rows) > 0 && len(row) != len(ins.Rows[0]) {
+			return nil, fmt.Errorf("line %d: INSERT rows have mixed widths (%d vs %d)",
+				p.cur().line, len(row), len(ins.Rows[0]))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.cur().kind != tokComma {
+			return ins, nil
+		}
+		p.i++
+	}
+}
+
+// parseLiteral parses one literal constant: a number (optionally
+// negated), a quoted string, or TRUE/FALSE.
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		v, err := formatNumber(t.text)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("line %d: bad number %q: %v", t.line, t.text, err)
+		}
+		return v, nil
+	case t.kind == tokString:
+		p.i++
+		return value.Str(t.text), nil
+	case t.kind == tokMinus:
+		p.i++
+		inner, err := p.parseLiteral()
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !inner.IsNumeric() {
+			return value.Value{}, fmt.Errorf("line %d: '-' applies to numbers only", t.line)
+		}
+		if inner.Kind() == value.KindInt {
+			return value.Int(-inner.AsInt()), nil
+		}
+		return value.Float(-inner.AsFloat()), nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.i++
+		return value.Bool(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.i++
+		return value.Bool(false), nil
+	default:
+		return value.Value{}, p.unexpected("literal value")
+	}
 }
 
 func (p *parser) parseIdentList() ([]string, error) {

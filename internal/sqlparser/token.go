@@ -97,4 +97,5 @@ var keywords = map[string]bool{
 	"COUNT": true, "AVG": true, "CREATE": true, "TABLE": true,
 	"VIEW": true, "KEY": true, "FD": true, "NOT": true, "OR": true,
 	"TRUE": true, "FALSE": true, "BETWEEN": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
 }

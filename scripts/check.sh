@@ -11,3 +11,8 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Short differential-oracle pass (well under 30s): random instances,
+# rewrite-vs-direct multiset equivalence at worker counts 1 and
+# GOMAXPROCS. `make soak` runs the long version.
+go run ./cmd/oraclerunner -seeds 1,2 -n 150

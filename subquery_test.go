@@ -56,7 +56,7 @@ func TestSubqueryRewritesOntoMaterializedView(t *testing.T) {
 		t.Fatalf("flattened subquery should rewrite onto ByRP, used=%v", used)
 	}
 	direct := s.MustQuery(nested)
-	if !engine.MultisetEqual(res, direct) {
+	if !engine.ResultsEqualBag(res, direct) {
 		t.Fatal("rewritten answer differs")
 	}
 }
@@ -160,7 +160,7 @@ func TestAggregateSubqueryWithRewritableInner(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := s.MustQuery(nested)
-	if !engine.MultisetEqual(res, direct) {
+	if !engine.ResultsEqualBag(res, direct) {
 		t.Fatal("QueryBest over aggregate subquery differs from direct")
 	}
 }
