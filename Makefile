@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-json quick soak
+.PHONY: build test race vet lint check bench bench-json quick soak
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's own static analysis (DESIGN.md section 8):
+# the aggvet analyzer suite over every package, and the IR soundness
+# linter over the bundled catalog.
+lint:
+	$(GO) run ./cmd/aggvet ./...
+	$(GO) run ./cmd/aggview lint cmd/aggview/testdata/demo.sql
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 verify path: build + vet + tests + race suite.
+# check is the tier-1 verify path: build + vet + lint + tests + race
+# suite.
 check:
 	sh scripts/check.sh
 

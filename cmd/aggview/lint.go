@@ -1,0 +1,67 @@
+// The lint subcommand runs the IR soundness linter over catalog
+// scripts: `aggview lint [-json report.json] [-v] script.sql...`.
+// It exits 0 when every script is free of error- and warn-severity
+// diagnostics, 1 otherwise; -json additionally writes the full
+// machine-readable report (including info-severity usability records).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aggview/internal/analysis/irlint"
+	"aggview/internal/benchjson"
+)
+
+func runLint(args []string) {
+	fs := flag.NewFlagSet("aggview lint", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "write the machine-readable report to this file")
+	verbose := fs.Bool("v", false, "also print info-severity usability records")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: aggview lint [-json report.json] [-v] script.sql...")
+		os.Exit(2)
+	}
+	code, err := lint(fs.Args(), *jsonOut, *verbose, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(code)
+}
+
+// lint lints each file, prints the diagnostics, and returns the
+// process exit code (0 clean, 1 failing diagnostics).
+func lint(files []string, jsonOut string, verbose bool, out io.Writer) (int, error) {
+	rep := benchjson.NewLint()
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return 0, err
+		}
+		res := irlint.LintScript(file, string(src))
+		rep.Files = append(rep.Files, file)
+		rep.Views += res.Views
+		rep.Queries += res.Queries
+		rep.Failing += res.Failing()
+		rep.Diagnostics = append(rep.Diagnostics, res.Diags...)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Severity == benchjson.LintInfo && !verbose {
+			continue
+		}
+		fmt.Fprintf(out, "%s: [%s] %s: %s\n", d.File, d.Severity, d.Check, d.Message)
+	}
+	fmt.Fprintf(out, "aggview lint: %d file(s), %d view(s), %d query(s), %d failing diagnostic(s)\n",
+		len(rep.Files), rep.Views, rep.Queries, rep.Failing)
+	if jsonOut != "" {
+		if err := rep.WriteFile(jsonOut); err != nil {
+			return 0, err
+		}
+	}
+	if rep.Failing > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

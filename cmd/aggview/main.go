@@ -40,6 +40,11 @@ func (d *dataFlags) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		runLint(os.Args[2:])
+		return
+	}
+
 	var data dataFlags
 	flag.Var(&data, "data", "load CSV data: table=file.csv (repeatable)")
 	exec := flag.Bool("exec", false, "execute each query (requires data)")

@@ -123,7 +123,7 @@ func TestDemoScript(t *testing.T) {
 	s.MustLoad(`
 		CREATE TABLE Calls(Call_Id, Plan_Id, Month, Year, Charge) KEY(Call_Id);
 		CREATE TABLE Calling_Plans(Plan_Id, Plan_Name) KEY(Plan_Id)`)
-	s.MustDefineView("Monthly", `SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+	s.MustDefineView("Monthly", `SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge), COUNT(Charge)
 		FROM Calls, Calling_Plans
 		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
 		GROUP BY Calls.Plan_Id, Plan_Name, Month, Year`)

@@ -3,7 +3,7 @@ CREATE TABLE Calls(Call_Id, Plan_Id, Month, Year, Charge) KEY(Call_Id);
 CREATE TABLE Calling_Plans(Plan_Id, Plan_Name) KEY(Plan_Id);
 
 CREATE VIEW Monthly AS
-  SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge)
+  SELECT Calls.Plan_Id, Plan_Name, Month, Year, SUM(Charge), COUNT(Charge)
   FROM Calls, Calling_Plans
   WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
   GROUP BY Calls.Plan_Id, Plan_Name, Month, Year;
@@ -13,4 +13,7 @@ FROM Calls, Calling_Plans
 WHERE Calls.Plan_Id = Calling_Plans.Plan_Id AND Year = 1995
 GROUP BY Calling_Plans.Plan_Id, Plan_Name;
 
-SELECT Plan_Id, COUNT(Charge) FROM Calls GROUP BY Plan_Id;
+SELECT Calls.Plan_Id, COUNT(Charge)
+FROM Calls, Calling_Plans
+WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
+GROUP BY Calls.Plan_Id;

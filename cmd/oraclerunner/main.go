@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"aggview/internal/analysis/irlint"
 	"aggview/internal/benchjson"
 	"aggview/internal/oracle"
 )
@@ -82,14 +83,7 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 				}
 				min := oracle.Shrink(c, opt)
 				v := out.Violations[0]
-				rep.Failures = append(rep.Failures, benchjson.OracleFailure{
-					Seed:    seed,
-					Trial:   trial,
-					Workers: v.Workers,
-					Used:    v.Used,
-					Detail:  v.String(),
-					Script:  min.Script(),
-				})
+				rep.Failures = append(rep.Failures, failure(seed, trial, &v, min))
 				fmt.Fprintf(os.Stderr, "VIOLATION seed=%d trial=%d\n%s\nminimal repro script:\n%s\n",
 					seed, trial, v.String(), min.Script())
 			}
@@ -101,6 +95,22 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 		if deadline.IsZero() {
 			return finish(rep, jsonOut)
 		}
+	}
+}
+
+// failure packages one violation as a report record, running the IR
+// soundness linter over the shrunken script so catalog hazards ride
+// along with the repro.
+func failure(seed int64, trial int, v *oracle.Violation, min *oracle.Case) benchjson.OracleFailure {
+	script := min.Script()
+	return benchjson.OracleFailure{
+		Seed:    seed,
+		Trial:   trial,
+		Workers: v.Workers,
+		Used:    v.Used,
+		Detail:  v.String(),
+		Script:  script,
+		Lint:    irlint.LintScript("shrunk.sql", script).Diags,
 	}
 }
 
@@ -129,6 +139,11 @@ func runReplay(path string, opt oracle.Options) error {
 	c, err := oracle.Replay(string(data))
 	if err != nil {
 		return err
+	}
+	for _, d := range irlint.LintScript(path, string(data)).Diags {
+		if d.Severity != benchjson.LintInfo {
+			fmt.Fprintf(os.Stderr, "lint: [%s] %s: %s\n", d.Severity, d.Check, d.Message)
+		}
 	}
 	out, err := oracle.Check(c, opt)
 	if err != nil {

@@ -1,0 +1,187 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// toolchain image this repository builds in has no module proxy access,
+// so the x/tools framework itself cannot be vendored; the subset here is
+// API-shaped like the original so the aggvet analyzers could be ported
+// to a real multichecker by swapping the import path.
+//
+// Suppression follows the vet convention of machine-readable comments:
+// a comment of the form
+//
+//	//aggvet:<name> <justification>
+//
+// on the flagged line, or on a line directly above it, silences the
+// analyzer called <name> at that site. Justifications are free text but
+// the linter treats a bare directive with no justification as an error,
+// so every suppression documents why the invariant holds anyway.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the Pass's package and
+// reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer; it is also the suppression
+	// directive name (//aggvet:<Name>).
+	Name string
+	// Doc is the one-paragraph description shown by aggvet -help.
+	Doc string
+	// Aliases lists additional directive names that suppress this
+	// analyzer (e.g. maporder honours the //aggvet:ordered spelling).
+	Aliases []string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	directives map[string]map[int][]string // filename -> line -> directive names
+	diags      []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the vet file:line:col format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a suppression directive for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, name := range append([]string{p.Analyzer.Name}, p.Analyzer.Aliases...) {
+		if p.suppressed(name, position) {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far, in source order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	out := append([]Diagnostic{}, p.diags...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// TypeOf returns the type of an expression, or nil when type checking
+// did not resolve it (e.g. a package with loader errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// suppressed reports whether line (or the line above it) carries an
+// //aggvet:<name> directive for the analyzer.
+func (p *Pass) suppressed(name string, pos token.Position) bool {
+	if p.directives == nil {
+		p.directives = map[string]map[int][]string{}
+		for _, f := range p.Files {
+			fname := p.Fset.Position(f.Pos()).Filename
+			p.directives[fname] = fileDirectives(p.Fset, f)
+		}
+	}
+	lines := p.directives[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[l] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileDirectives extracts the //aggvet: directives of one file, keyed by
+// the line the comment sits on.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, ok := ParseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], name)
+		}
+	}
+	return out
+}
+
+// ParseDirective extracts the analyzer name from an //aggvet:<name>
+// comment; ok is false for ordinary comments.
+func ParseDirective(comment string) (name string, ok bool) {
+	const prefix = "//aggvet:"
+	if !strings.HasPrefix(comment, prefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(comment, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// RunAnalyzer applies one analyzer to one loaded package.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.PkgPath,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return pass.Diagnostics(), nil
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/floatfix")
+}

@@ -1,0 +1,116 @@
+// Package irctor forces IR construction through the invariant-
+// preserving builder APIs.
+//
+// ir.Query carries invariants a composite literal can silently break:
+// Columns must be dense and indexed by ColID, every TableInstance's
+// Cols must alias those IDs in schema order, and per-query column names
+// are derived, not assigned. ir.ViewDef additionally derives its output
+// schema (OutCols) in NewViewDef, which also rejects nameless and
+// empty-select views. Code outside internal/ir must therefore start
+// from ir.Build / ir.BuildMulti (parsed SQL) or an empty &ir.Query{}
+// grown via AddTable, and must mint views with ir.NewViewDef.
+//
+// Allowed literal shape: an ir.Query literal that sets no structural
+// field — {} or {Distinct: ...} — is the sanctioned seed for builder-
+// style construction (the rewriter and advisor grow queries this way).
+// Everything else, and every ir.ViewDef literal, is flagged.
+package irctor
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"aggview/internal/analysis"
+)
+
+// irPkgSuffix identifies the IR package across module renames.
+const irPkgSuffix = "internal/ir"
+
+// structuralSafe lists the ir.Query fields a literal may set without
+// bypassing the builder's invariants.
+var structuralSafe = map[string]bool{"Distinct": true}
+
+// Analyzer flags raw ir.Query / ir.ViewDef composite literals outside
+// internal/ir.
+var Analyzer = &analysis.Analyzer{
+	Name: "irctor",
+	Doc: "flags composite-literal construction of ir.Query (beyond the empty/Distinct-only seed) " +
+		"and ir.ViewDef outside internal/ir; use ir.Build/AddTable and ir.NewViewDef so the " +
+		"builder's invariants (dense ColIDs, derived names, validated output schema) hold",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.PkgPath, irPkgSuffix) {
+		return nil // the builder package itself owns the invariants
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			name, ok := irStructName(pass.TypeOf(lit))
+			if !ok {
+				return true
+			}
+			switch name {
+			case "ViewDef":
+				pass.Reportf(lit.Pos(),
+					"ir.ViewDef composite literal bypasses ir.NewViewDef (derived OutCols, validation); construct views with ir.NewViewDef")
+			case "Query":
+				if field, bad := unsafeQueryField(lit); bad {
+					pass.Reportf(lit.Pos(),
+						"ir.Query literal sets %s directly, bypassing the builder's invariants (dense ColIDs, derived names); "+
+							"start from an empty &ir.Query{} and use AddTable, or build from SQL with ir.Build", field)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unsafeQueryField returns the first structural field a Query literal
+// sets (bad=false for the sanctioned empty/Distinct-only seed).
+func unsafeQueryField(lit *ast.CompositeLit) (string, bool) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return "fields positionally", true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !structuralSafe[key.Name] {
+			name := "a structural field"
+			if ok {
+				name = key.Name
+			}
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// irStructName resolves a composite literal's type to one of the
+// guarded IR structs, looking through pointers.
+func irStructName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), irPkgSuffix) {
+		return "", false
+	}
+	if obj.Name() == "Query" || obj.Name() == "ViewDef" {
+		return obj.Name(), true
+	}
+	return "", false
+}

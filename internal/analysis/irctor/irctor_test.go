@@ -1,0 +1,16 @@
+package irctor_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/irctor"
+)
+
+func TestIRCtor(t *testing.T) {
+	analysistest.Run(t, irctor.Analyzer, "testdata/src/irfix")
+}
+
+func TestIRCtorInsideIRPackage(t *testing.T) {
+	analysistest.Run(t, irctor.Analyzer, "testdata/src/internal/ir")
+}

@@ -1,0 +1,49 @@
+// Package irfix is the irctor fixture: raw IR composite literals in
+// flagged and sanctioned shapes.
+package irfix
+
+import "aggview/internal/ir"
+
+// RawQuery hand-assembles a grouped query, bypassing the builder.
+func RawQuery() *ir.Query {
+	return &ir.Query{GroupBy: []ir.ColID{0}} // want `ir.Query literal sets GroupBy`
+}
+
+// RawTables sets the FROM clause without allocating columns.
+func RawTables() ir.Query {
+	return ir.Query{Tables: []ir.TableInstance{{Source: "R"}}} // want `ir.Query literal sets Tables`
+}
+
+// RawView mints a view without NewViewDef's derived output schema.
+func RawView() *ir.ViewDef {
+	return &ir.ViewDef{Name: "v"} // want `ir.ViewDef composite literal bypasses ir.NewViewDef`
+}
+
+// Seed starts builder-style construction from the empty literal: the
+// sanctioned shape.
+func Seed() *ir.Query {
+	q := &ir.Query{}
+	q.AddTable("R", "", []string{"A", "B"})
+	return q
+}
+
+// SeedDistinct may set the non-structural Distinct flag.
+func SeedDistinct() *ir.Query {
+	return &ir.Query{Distinct: true}
+}
+
+// Justified documents a deliberate bypass.
+func Justified() ir.Query {
+	//aggvet:irctor test scaffolding for a shape the builder rejects on purpose
+	return ir.Query{GroupBy: []ir.ColID{0}}
+}
+
+// OtherStructs from the ir package are not guarded.
+func OtherStructs() ir.Column {
+	return ir.Column{ID: 0, Attr: "A"}
+}
+
+// ViewSlice is a slice literal, not a struct literal.
+func ViewSlice() []*ir.ViewDef {
+	return []*ir.ViewDef{}
+}

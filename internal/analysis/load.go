@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath  string
+	Name     string
+	Dir      string
+	Standard bool
+	Files    []*ast.File
+	Fset     *token.FileSet
+	Types    *types.Package
+	Info     *types.Info
+	// Errors holds parse and type errors. Stdlib packages are loaded
+	// best-effort (their errors are dropped); module packages surface
+	// every error here so aggvet can refuse to run on broken input.
+	Errors []error
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// loader type-checks a `go list -deps` graph bottom-up with a shared
+// FileSet, so analyzers see fully resolved types for intra-module
+// imports (internal/ir in internal/engine, etc.) without any external
+// driver library.
+type loader struct {
+	fset  *token.FileSet
+	metas map[string]*listPkg
+	typed map[string]*Package
+	// source is the fallback importer for toolchain-internal packages
+	// `go list -deps` occasionally omits (none today, but cheap
+	// insurance against toolchain changes).
+	source types.Importer
+}
+
+// Load runs `go list -deps -json patterns...` in dir, type-checks the
+// dependency graph from source, and returns the packages matched by the
+// patterns themselves (dependencies are loaded but not returned). The
+// default pattern is ./...; testdata directories can be named
+// explicitly (./testdata/src/engine), which is how the analysistest
+// fixture runner loads fixture packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &loader{
+		fset:   token.NewFileSet(),
+		metas:  map[string]*listPkg{},
+		typed:  map[string]*Package{},
+		source: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	for _, m := range deps {
+		l.metas[m.ImportPath] = m
+	}
+
+	var out []*Package
+	for _, m := range roots {
+		if m.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		p, err := l.load(m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// goList shells out to the go tool for package metadata. CGO is
+// disabled so every listed file is pure Go and type-checkable from
+// source.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listPkg
+	for {
+		m := &listPkg{}
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// load type-checks one package, loading its imports first.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.typed[path]; ok {
+		return p, nil
+	}
+	m, ok := l.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not in the go list graph", path)
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("analysis: go list: %s: %s", path, m.Error.Err)
+	}
+
+	p := &Package{PkgPath: path, Name: m.Name, Dir: m.Dir, Standard: m.Standard, Fset: l.fset}
+	// Break import cycles defensively (the go tool rejects them, so
+	// this only guards against inconsistent metadata).
+	l.typed[path] = p
+
+	for _, fname := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, fname), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			p.Errors = append(p.Errors, err)
+			continue
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{l: l, meta: m},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if !m.Standard {
+				p.Errors = append(p.Errors, err)
+			}
+		},
+	}
+	tp, err := conf.Check(path, l.fset, p.Files, p.Info)
+	if err != nil && !m.Standard && len(p.Errors) == 0 {
+		p.Errors = append(p.Errors, err)
+	}
+	p.Types = tp
+	return p, nil
+}
+
+// pkgImporter resolves one package's imports through the loader,
+// honouring go list's ImportMap (vendored stdlib dependencies).
+type pkgImporter struct {
+	l    *loader
+	meta *listPkg
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := pi.meta.ImportMap[path]; ok {
+		path = mapped
+	}
+	if _, ok := pi.l.metas[path]; ok {
+		p, err := pi.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: import %s produced no type information", path)
+		}
+		return p.Types, nil
+	}
+	return pi.l.source.Import(path)
+}

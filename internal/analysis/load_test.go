@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/engine", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Logf("%s name=%s files=%d errs=%v", p.PkgPath, p.Name, len(p.Files), p.Errors)
+		if len(p.Errors) > 0 {
+			t.Errorf("%s: %v", p.PkgPath, p.Errors)
+		}
+	}
+}

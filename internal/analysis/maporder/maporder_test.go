@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/engine")
+}
+
+func TestMapOrderUnscopedPackage(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/other")
+}

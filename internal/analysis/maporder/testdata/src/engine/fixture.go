@@ -1,0 +1,88 @@
+// Package engine is a maporder fixture: it carries the determinism-
+// scoped package name, seeding both flagged and allowlisted map ranges.
+package engine
+
+import "sort"
+
+// AppendLeak collects map keys into an outer slice with no sort.
+func AppendLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map order is randomized`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SendLeak streams map values on a channel in iteration order.
+func SendLeak(m map[string]int, ch chan int) {
+	for _, v := range m { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+// ConcatLeak builds a string in iteration order.
+func ConcatLeak(m map[string]int) string {
+	s := ""
+	for k := range m { // want `concatenates onto s`
+		s += k
+	}
+	return s
+}
+
+// IndexLeak fills an outer slice by a counter walked in map order.
+func IndexLeak(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m { // want `writes through a slice index`
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// SortedAfter collects keys and then sorts them: canonical order is
+// restored, so the range is exempt.
+func SortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Justified documents an order-insensitive consumer.
+func Justified(m map[string]int, ch chan int) {
+	//aggvet:ordered the consumer folds with a commutative reducer, order is immaterial
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// MapToMap re-keys into another map: order-insensitive, exempt.
+func MapToMap(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// InnerSlice appends to a slice declared inside the loop body; the
+// per-iteration slice cannot observe iteration order.
+func InnerSlice(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// SliceRange ranges over a slice, not a map: out of scope.
+func SliceRange(xs []int, ch chan int) {
+	for _, v := range xs {
+		ch <- v
+	}
+}

@@ -1,0 +1,13 @@
+// Package other is outside the determinism-scoped package set
+// (engine, core, oracle): even an order-leaking map range is not
+// maporder's business here.
+package other
+
+// Keys leaks map order into a slice; allowed outside the scoped set.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+// Package core is the waitleak fixture: goroutine launches with and
+// without a join construct, under the kernel-scoped package name.
+package core
+
+import "sync"
+
+// Leak launches a goroutine nobody joins.
+func Leak(work func()) {
+	go work() // want `no join in the function`
+}
+
+// DoubleLeak launches two; both are reported.
+func DoubleLeak(work func()) {
+	go work() // want `no join in the function`
+	go work() // want `no join in the function`
+}
+
+// WaitGroupJoin is the kernel pattern: fan out, wg.Wait.
+func WaitGroupJoin(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ChannelJoin collects results off a channel.
+func ChannelJoin(work func() int) int {
+	ch := make(chan int)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+// RangeJoin drains a channel the goroutine closes.
+func RangeJoin(xs []int) int {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			ch <- x
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// SelectJoin observes completion through select.
+func SelectJoin(done chan struct{}, work func()) {
+	go func() {
+		work()
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}
+
+// Handoff transfers ownership deliberately and documents it.
+func Handoff(ch chan int, work func() int) {
+	//aggvet:waitleak producer goroutine is joined by the consumer draining ch
+	go func() { ch <- work() }()
+}
+
+// NoGoroutines has nothing to join.
+func NoGoroutines(work func()) {
+	work()
+}

@@ -1,0 +1,12 @@
+package waitleak_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/waitleak"
+)
+
+func TestWaitLeak(t *testing.T) {
+	analysistest.Run(t, waitleak.Analyzer, "testdata/src/core")
+}

@@ -1,0 +1,63 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Severity levels of a lint diagnostic. Errors and warnings gate CI;
+// infos are advisory (per-pair usability explanations).
+const (
+	LintError = "error"
+	LintWarn  = "warn"
+	LintInfo  = "info"
+)
+
+// LintDiagnostic is one finding of the IR soundness linter
+// (aggview lint). Exactly the fields that apply are set: View for
+// view-local checks, Query (and usually View) for usability records.
+type LintDiagnostic struct {
+	// File is the script the finding came from.
+	File string `json:"file,omitempty"`
+	// View names the view the finding concerns, if any.
+	View string `json:"view,omitempty"`
+	// Query identifies the query the finding concerns, if any
+	// (rendered SQL, or "query #N" when the statement did not build).
+	Query string `json:"query,omitempty"`
+	// Check is the stable machine-readable check name, e.g.
+	// "no-count-column" or "usability".
+	Check string `json:"check"`
+	// Severity is one of LintError, LintWarn, LintInfo.
+	Severity string `json:"severity"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// LintReport is the full emission of one `aggview lint -json` run.
+type LintReport struct {
+	GoVersion string `json:"go_version"`
+	// Files lists the scripts linted, in argument order.
+	Files []string `json:"files"`
+	// Views and Queries count the catalog objects seen across all files.
+	Views   int `json:"views"`
+	Queries int `json:"queries"`
+	// Failing counts error- and warn-severity diagnostics; the lint
+	// gate exits nonzero iff it is positive.
+	Failing     int              `json:"failing"`
+	Diagnostics []LintDiagnostic `json:"diagnostics"`
+}
+
+// NewLint returns a lint report stamped with the toolchain version.
+func NewLint() *LintReport {
+	return &LintReport{GoVersion: runtime.Version()}
+}
+
+// WriteFile marshals the report, indented, to path.
+func (r *LintReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

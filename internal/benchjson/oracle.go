@@ -22,6 +22,10 @@ type OracleFailure struct {
 	// Script is the shrunk SQL repro (replayable with oracle.Replay or
 	// `oraclerunner -replay`).
 	Script string `json:"script"`
+	// Lint carries the IR soundness linter's findings on the shrunk
+	// script (the same checks as `aggview lint`): catalog hazards and
+	// per-view usability records that speed up triage of the repro.
+	Lint []LintDiagnostic `json:"lint,omitempty"`
 }
 
 // OracleReport is the machine-readable emission of one oraclerunner

@@ -276,6 +276,7 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 		switch {
 		case best == nil || c < bestCost:
 			best, bestCost, bestKey = r, c, ""
+		//aggvet:floateq ties must be detected exactly: both costs come from the same deterministic cost function, and an epsilon here would tie-break nearly-equal plans nondeterministically across platforms
 		case c == bestCost:
 			// Deterministic tie-breaking: fewest views used, then smallest
 			// canonical key — stable regardless of enumeration order.

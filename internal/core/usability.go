@@ -1,0 +1,95 @@
+package core
+
+import (
+	"aggview/internal/aggreason"
+	"aggview/internal/ir"
+	"aggview/internal/keys"
+)
+
+// ViewUsability explains, for one registered view, whether the rewriter
+// can use it to answer a query and — when it cannot — which usability
+// conditions (C1–C4 of the paper, plus the Section 4.5 multiset
+// restriction) fail and why. It is the introspection counterpart of
+// RewriteOnce: the same analysis runs, but the per-mapping failure
+// reasons that RewriteOnce discards are collected instead.
+type ViewUsability struct {
+	// View is the view name.
+	View string
+	// Mappings counts the 1-1 column mappings that were tried.
+	Mappings int
+	// Usable reports whether at least one mapping yielded a rewriting.
+	Usable bool
+	// Failures lists distinct failure reasons across the mappings tried
+	// (empty when Usable and every mapping succeeded).
+	Failures []string
+}
+
+// ExplainUsability runs the usability analysis of every registered view
+// against q, keeping the failure reasons. Views appear in registry
+// order; the result is deterministic.
+func (rw *Rewriter) ExplainUsability(q *ir.Query) []ViewUsability {
+	var out []ViewUsability
+	for _, v := range rw.Views.All() {
+		out = append(out, rw.explainView(q, v))
+	}
+	return out
+}
+
+func (rw *Rewriter) explainView(q *ir.Query, v *ir.ViewDef) ViewUsability {
+	u := ViewUsability{View: v.Name}
+	seen := map[string]bool{}
+	fail := func(msg string) {
+		if !seen[msg] {
+			seen[msg] = true
+			u.Failures = append(u.Failures, msg)
+		}
+	}
+
+	qn, vn := q, v.Def
+	if !rw.Opts.NoNormalize {
+		qn = aggreason.Normalize(q)
+		vn = aggreason.Normalize(v.Def)
+	}
+	vIsAgg := vn.IsAggregationQuery()
+	qIsAgg := qn.IsAggregationQuery()
+
+	// Section 4.5 multiset restriction (mirrors RewriteOnce).
+	multisetUsable := !vn.Distinct && (qIsAgg || !vIsAgg)
+	if !multisetUsable {
+		if vn.Distinct {
+			fail("condition C1: the view is DISTINCT, so its result is a set and the query's tuple multiplicities cannot be preserved (Section 4.5)")
+		} else {
+			fail("condition C1: an aggregation view loses tuple multiplicities and cannot answer a non-aggregation query under multiset semantics (Section 4.5)")
+		}
+	}
+
+	ms := enumerateMappings(vn, qn, false)
+	u.Mappings = len(ms)
+	if len(ms) == 0 {
+		fail("condition C1: no column mapping exists — the view's table instances cannot be mapped one-to-one onto the query's")
+	} else if multisetUsable {
+		for _, m := range ms {
+			a := newAnalyzer(rw, qn, vn, v, m, false)
+			if _, err := a.analyze(); err != nil {
+				fail(err.Error())
+			} else {
+				u.Usable = true
+			}
+		}
+	}
+
+	// Section 5 relaxation: both results provably sets. Failures on this
+	// path largely repeat the multiset ones, so only success is recorded.
+	if !rw.Opts.NoSetSemantics && rw.Meta != nil && !qIsAgg && !vIsAgg {
+		meta := rw.meta()
+		if keys.IsSetResult(qn, meta) && keys.IsSetResult(vn, meta) {
+			for _, m := range enumerateMappings(vn, qn, true) {
+				a := newAnalyzer(rw, qn, vn, v, m, true)
+				if _, err := a.analyze(); err == nil {
+					u.Usable = true
+				}
+			}
+		}
+	}
+	return u
+}

@@ -69,6 +69,7 @@ func (c TelcoConfig) withDefaults() TelcoConfig {
 	if len(c.Years) == 0 {
 		c.Years = []int{1994, 1995, 1996}
 	}
+	//aggvet:floateq exact zero means "field left unset"; no computed float ever reaches this default check
 	if c.ZipfS == 0 {
 		c.ZipfS = 1.2
 	}

@@ -18,21 +18,24 @@ func (ev *Evaluator) Explain(q *ir.Query) string {
 	perTable := make([][]ir.Pred, len(q.Tables))
 	var joinEq, residual []ir.Pred
 	for _, p := range q.Where {
-		tabs := map[int]bool{}
+		lt, rt := -1, -1
 		if !p.L.IsConst {
-			tabs[tableOf(p.L.Col)] = true
+			lt = tableOf(p.L.Col)
 		}
 		if !p.R.IsConst {
-			tabs[tableOf(p.R.Col)] = true
+			rt = tableOf(p.R.Col)
 		}
 		switch {
-		case len(tabs) == 0:
+		case lt < 0 && rt < 0:
 			residual = append(residual, p)
-		case len(tabs) == 1:
-			for t := range tabs {
-				perTable[t] = append(perTable[t], p)
+		case (lt < 0) != (rt < 0) || lt == rt:
+			// Single-table predicate: push it to that table's scan.
+			t := lt
+			if t < 0 {
+				t = rt
 			}
-		case p.Op == ir.OpEq && !p.L.IsConst && !p.R.IsConst:
+			perTable[t] = append(perTable[t], p)
+		case p.Op == ir.OpEq:
 			joinEq = append(joinEq, p)
 		default:
 			residual = append(residual, p)

@@ -228,6 +228,7 @@ func Div(a, b Value) (Value, error) {
 		return Value{}, fmt.Errorf("value: cannot divide %s by %s", a.kind, b.kind)
 	}
 	bf := b.AsFloat()
+	//aggvet:floateq division-by-zero guard: only an exactly-zero divisor is an error, near-zero must divide
 	if bf == 0 {
 		return Value{}, fmt.Errorf("value: division by zero")
 	}
@@ -275,6 +276,7 @@ func (v Value) Key() string {
 		}
 		return "i" + strconv.FormatInt(v.i, 10)
 	case KindFloat:
+		//aggvet:floateq integrality test: hash keys must unify 1 and 1.0 exactly, matching Equal's semantics — an epsilon would merge distinct values
 		if f := v.f; f == math.Trunc(f) && f >= -(1<<53) && f <= 1<<53 {
 			return "n" + strconv.FormatFloat(f, 'g', -1, 64)
 		}

@@ -1,16 +1,24 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, tests, and the race suite. The race
-# pass is mandatory because the engine and rewriter run worker pools
-# (see DESIGN.md section 6); a green plain suite with a racy kernel is
-# not green.
+# Tier-1 verification: build, vet, static analysis, tests, and the race
+# suite. The race pass is mandatory because the engine and rewriter run
+# worker pools (see DESIGN.md section 6); a green plain suite with a
+# racy kernel is not green.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Project-specific static analysis (DESIGN.md section 8): the aggvet
+# analyzers guard the determinism/float/IR-construction/goroutine-join
+# invariants, and `aggview lint` gates the bundled catalog on the IR
+# soundness checks. Both fail on any diagnostic.
+go run ./cmd/aggvet ./...
+go run ./cmd/aggview lint cmd/aggview/testdata/demo.sql
+
 go test ./...
-go test -race ./...
+go test -race -short ./...
 
 # Short differential-oracle pass (well under 30s): random instances,
 # rewrite-vs-direct multiset equivalence at worker counts 1 and
