@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-json quick soak
+.PHONY: build test race vet lint check bench bench-json quick soak trace
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json regenerates the kernel trajectory report checked in at the
-# repo root (see DESIGN.md section 6).
+# repo root (see DESIGN.md sections 6 and 9); the filename tracks the
+# PR that last refreshed it.
 bench-json:
-	$(GO) run ./cmd/benchrunner -json BENCH_PR1.json
+	$(GO) run ./cmd/benchrunner -json BENCH_PR4.json
+
+# trace runs the rewrite-search tracer over the bundled catalog and
+# replays the written report to prove the trace round-trips losslessly
+# (DESIGN.md section 9).
+trace:
+	$(GO) run ./cmd/aggview explain -trace -json TRACE_DEMO.json cmd/aggview/testdata/demo.sql
+	$(GO) run ./cmd/aggview explain -replay TRACE_DEMO.json
 
 quick:
 	$(GO) run ./cmd/benchrunner -quick

@@ -26,6 +26,7 @@ import (
 	"aggview/internal/ir"
 	"aggview/internal/keys"
 	"aggview/internal/maintain"
+	"aggview/internal/obs"
 	"aggview/internal/schema"
 	"aggview/internal/sqlparser"
 	"aggview/internal/unnest"
@@ -68,6 +69,15 @@ type System struct {
 	DB      *engine.DB
 	Stats   cost.Stats
 	Opts    Options
+	// Tracer, when non-nil, records every rewrite-search candidate with
+	// its usability verdict (see internal/obs); it is threaded into the
+	// rewriters built by Rewriter, Rewritings, Plan and Explain.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, collects engine kernel counters, stage
+	// timers and view-cache hit/miss counts from every evaluator the
+	// system builds. Both fields default to nil: the instrumentation is
+	// a no-op until a caller opts in.
+	Metrics *obs.Metrics
 
 	maint *maintain.Maintainer
 }
@@ -92,6 +102,7 @@ func (s *System) source() ir.SchemaSource {
 func (s *System) evaluator(reg *ir.Registry) *engine.Evaluator {
 	ev := engine.NewEvaluator(s.DB, reg)
 	ev.Workers = s.Opts.Workers
+	ev.Metrics = s.Metrics
 	return ev
 }
 
@@ -102,6 +113,7 @@ func (s *System) Rewriter() *core.Rewriter {
 		Views:  s.Views,
 		Meta:   keys.CatalogMeta{Catalog: s.Catalog},
 		Opts:   s.Opts,
+		Tracer: s.Tracer,
 	}
 }
 
@@ -514,6 +526,24 @@ func (s *System) AdoptRecommendations(recs []Recommendation) ([]string, error) {
 		names = append(names, r.View.Name)
 	}
 	return names, nil
+}
+
+// ViewUsability explains whether one registered view can answer a
+// query and which usability conditions fail when it cannot.
+type ViewUsability = core.ViewUsability
+
+// Usability runs the per-view usability analysis for a query, returning
+// one entry per registered view in registry order.
+func (s *System) Usability(sql string) ([]ViewUsability, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	q, err = s.flattenMulti(q, anon)
+	if err != nil {
+		return nil, err
+	}
+	return s.Rewriter().ExplainUsability(q), nil
 }
 
 // Explain renders a human-readable report of the rewritings available

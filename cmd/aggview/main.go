@@ -44,6 +44,10 @@ func main() {
 		runLint(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 
 	var data dataFlags
 	flag.Var(&data, "data", "load CSV data: table=file.csv (repeatable)")
@@ -62,57 +66,9 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	script, err := os.ReadFile(flag.Arg(0))
+	s, queries, err := loadScriptSystem(flag.Arg(0), data, *paperFaithful)
 	if err != nil {
 		fatal(err)
-	}
-
-	s := aggview.New()
-	s.Opts.PaperFaithful = *paperFaithful
-
-	stmts, err := sqlparser.ParseScript(string(script))
-	if err != nil {
-		fatal(err)
-	}
-	var queries []string
-	var decls []string
-	for _, st := range stmts {
-		switch x := st.(type) {
-		case *sqlparser.QueryStatement:
-			queries = append(queries, x.Query.SQL())
-		case *sqlparser.CreateView:
-			decls = append(decls, "CREATE VIEW "+x.Name+" AS "+x.Query.SQL())
-		case *sqlparser.CreateTable:
-			decl := "CREATE TABLE " + x.Name + "(" + strings.Join(x.Columns, ", ") + ")"
-			for _, k := range x.Keys {
-				decl += " KEY(" + strings.Join(k, ", ") + ")"
-			}
-			for _, fd := range x.FDs {
-				decl += " FD(" + strings.Join(fd[0], ", ") + " -> " + strings.Join(fd[1], ", ") + ")"
-			}
-			decls = append(decls, decl)
-		}
-	}
-	if err := s.Load(strings.Join(decls, ";\n")); err != nil {
-		fatal(err)
-	}
-	for _, spec := range data {
-		name, file, ok := strings.Cut(spec, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -data %q, want table=file.csv", spec))
-		}
-		if err := loadCSV(s, name, file); err != nil {
-			fatal(err)
-		}
-	}
-	// Materialize every declared view so rewritten plans scan
-	// materializations.
-	if len(data) > 0 {
-		for _, v := range s.Views.All() {
-			if _, err := s.Materialize(v.Name); err != nil {
-				fatal(fmt.Errorf("materializing %s: %w", v.Name, err))
-			}
-		}
 	}
 
 	for i, q := range queries {
@@ -148,6 +104,66 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "aggview:", err)
 	os.Exit(1)
+}
+
+// loadScriptSystem builds a system from a SQL script: declarations are
+// loaded, CSV data files (table=file.csv specs) are inserted, and every
+// declared view is materialized when data is present. It returns the
+// script's SELECT statements in order.
+func loadScriptSystem(path string, data dataFlags, paperFaithful bool) (*aggview.System, []string, error) {
+	script, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := aggview.New()
+	s.Opts.PaperFaithful = paperFaithful
+
+	stmts, err := sqlparser.ParseScript(string(script))
+	if err != nil {
+		return nil, nil, err
+	}
+	var queries []string
+	var decls []string
+	for _, st := range stmts {
+		switch x := st.(type) {
+		case *sqlparser.QueryStatement:
+			queries = append(queries, x.Query.SQL())
+		case *sqlparser.CreateView:
+			decls = append(decls, "CREATE VIEW "+x.Name+" AS "+x.Query.SQL())
+		case *sqlparser.CreateTable:
+			decl := "CREATE TABLE " + x.Name + "(" + strings.Join(x.Columns, ", ") + ")"
+			for _, k := range x.Keys {
+				decl += " KEY(" + strings.Join(k, ", ") + ")"
+			}
+			for _, fd := range x.FDs {
+				decl += " FD(" + strings.Join(fd[0], ", ") + " -> " + strings.Join(fd[1], ", ") + ")"
+			}
+			decls = append(decls, decl)
+		}
+	}
+	if err := s.Load(strings.Join(decls, ";\n")); err != nil {
+		return nil, nil, err
+	}
+	for _, spec := range data {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad -data %q, want table=file.csv", spec)
+		}
+		if err := loadCSV(s, name, file); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Materialize every declared view so rewritten plans scan
+	// materializations.
+	if len(data) > 0 {
+		for _, v := range s.Views.All() {
+			if _, err := s.Materialize(v.Name); err != nil {
+				return nil, nil, fmt.Errorf("materializing %s: %w", v.Name, err)
+			}
+		}
+	}
+	return s, queries, nil
 }
 
 // loadCSV reads a headerless CSV file into a declared table, inferring

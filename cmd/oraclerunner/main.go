@@ -25,6 +25,8 @@ import (
 
 	"aggview/internal/analysis/irlint"
 	"aggview/internal/benchjson"
+	"aggview/internal/constraints"
+	"aggview/internal/obs"
 	"aggview/internal/oracle"
 )
 
@@ -72,7 +74,9 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 					return finish(rep, jsonOut)
 				}
 				c := oracle.Generate(rng, gen)
-				out, err := oracle.Check(c, opt)
+				trialOpt := opt
+				trialOpt.Metrics = obs.NewMetrics()
+				out, err := oracle.Check(c, trialOpt)
 				if err != nil {
 					return fmt.Errorf("seed %d trial %d: case rejected: %w\nscript:\n%s", seed, trial, err, c.Script())
 				}
@@ -81,9 +85,21 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 				if out.OK() {
 					continue
 				}
+				// Snapshot the engine metrics and closure-cache state at
+				// failure time — before shrinking re-runs the checker and
+				// perturbs both — so the repro carries the cache/worker
+				// state the violation was observed under.
+				atFailure := trialOpt.Metrics.Snapshot()
+				closure := constraints.CloseCacheSnapshot()
 				min := oracle.Shrink(c, opt)
 				v := out.Violations[0]
-				rep.Failures = append(rep.Failures, failure(seed, trial, &v, min))
+				f := failure(seed, trial, &v, min)
+				f.Metrics = &atFailure
+				f.Closure = &benchjson.CacheCounters{
+					Hits: closure.Hits, Misses: closure.Misses,
+					Evictions: closure.Evictions, Size: closure.Size,
+				}
+				rep.Failures = append(rep.Failures, f)
 				fmt.Fprintf(os.Stderr, "VIOLATION seed=%d trial=%d\n%s\nminimal repro script:\n%s\n",
 					seed, trial, v.String(), min.Script())
 			}
@@ -116,6 +132,10 @@ func failure(seed int64, trial int, v *oracle.Violation, min *oracle.Case) bench
 
 // finish writes the report and converts failures into a nonzero exit.
 func finish(rep *benchjson.OracleReport, jsonOut string) error {
+	cs := constraints.CloseCacheSnapshot()
+	rep.Closure = &benchjson.CacheCounters{
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Size: cs.Size,
+	}
 	if jsonOut != "" {
 		if err := rep.WriteFile(jsonOut); err != nil {
 			return err

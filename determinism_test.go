@@ -15,6 +15,7 @@ import (
 
 	"aggview"
 	"aggview/internal/datagen"
+	"aggview/internal/obs"
 )
 
 // workerCounts are the pool sizes compared against the serial run.
@@ -206,6 +207,49 @@ func TestParallelDeterminism(t *testing.T) {
 						}
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestMetricsSnapshotDeterminism asserts that the deterministic slice
+// of the engine-metrics snapshot — row counters and histograms, with
+// volatile timings and pool activity excluded — is byte-identical
+// between the serial path and a GOMAXPROCS-wide pool, across every
+// workload. This is the observable half of the determinism contract:
+// not only the rows, but the instrumented account of how they were
+// produced, must not depend on scheduling.
+func TestMetricsSnapshotDeterminism(t *testing.T) {
+	for _, wl := range detWorkloads() {
+		t.Run(wl.name, func(t *testing.T) {
+			render := func(workers int) string {
+				s := wl.build()
+				s.Opts.Workers = workers
+				s.Metrics = obs.NewMetrics()
+				for _, sql := range wl.queries {
+					rws, err := s.Rewritings(sql)
+					if err != nil {
+						t.Fatalf("workers=%d Rewritings(%q): %v", workers, sql, err)
+					}
+					if _, err := s.Query(sql); err != nil {
+						t.Fatalf("workers=%d Query(%q): %v", workers, sql, err)
+					}
+					for _, r := range rws {
+						if _, err := s.ExecRewriting(r); err != nil {
+							t.Fatalf("workers=%d ExecRewriting(%q): %v", workers, sql, err)
+						}
+					}
+				}
+				snap := s.Metrics.Snapshot()
+				return snap.Deterministic()
+			}
+			serial := render(1)
+			if serial == "" {
+				t.Fatal("serial run recorded no deterministic metrics")
+			}
+			if pool := render(0); pool != serial {
+				t.Errorf("metrics snapshot differs between workers=1 and workers=0 (GOMAXPROCS)\nserial:\n%s\npool:\n%s",
+					serial, pool)
 			}
 		})
 	}

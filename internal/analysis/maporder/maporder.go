@@ -1,6 +1,8 @@
 // Package maporder flags `for range` loops over maps that feed
 // order-sensitive output in the packages that promise deterministic
-// results (engine, core, oracle — see DESIGN.md sections 6 and 7).
+// results (engine, core, oracle, obs — see DESIGN.md sections 6, 7
+// and 9; obs promises byte-identical metric snapshots at any worker
+// count, so its render paths must not leak map order either).
 //
 // Go randomizes map iteration order, so a map range whose body appends
 // to an outer slice, sends on a channel, or concatenates onto an outer
@@ -31,6 +33,7 @@ var deterministicPkgs = map[string]bool{
 	"engine": true,
 	"core":   true,
 	"oracle": true,
+	"obs":    true,
 }
 
 // Analyzer flags map ranges feeding ordered output in deterministic
@@ -38,7 +41,7 @@ var deterministicPkgs = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc: "flags range-over-map loops that append to outer slices, send on channels, " +
-		"or build strings in determinism-promising packages (engine, core, oracle) " +
+		"or build strings in determinism-promising packages (engine, core, oracle, obs) " +
 		"without a subsequent sort or an //aggvet:ordered justification",
 	Aliases: []string{"ordered"},
 	Run:     run,

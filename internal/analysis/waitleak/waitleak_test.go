@@ -10,3 +10,7 @@ import (
 func TestWaitLeak(t *testing.T) {
 	analysistest.Run(t, waitleak.Analyzer, "testdata/src/core")
 }
+
+func TestWaitLeakObsMonitorPattern(t *testing.T) {
+	analysistest.Run(t, waitleak.Analyzer, "testdata/src/obs")
+}

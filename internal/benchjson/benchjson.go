@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+
+	"aggview/internal/obs"
 )
 
 // Result is one measured point.
@@ -37,6 +39,12 @@ type Report struct {
 	Quick      bool     `json:"quick"`
 	Notes      []string `json:"notes,omitempty"`
 	Results    []Result `json:"results"`
+	// Closure carries the closure-cache hit/miss/eviction counters
+	// accumulated over the run (internal/constraints.CloseCached).
+	Closure *CacheCounters `json:"closure_cache,omitempty"`
+	// Engine is an instrumented engine-metrics snapshot from one
+	// representative kernel execution (internal/obs).
+	Engine *obs.Snapshot `json:"engine_metrics,omitempty"`
 }
 
 // New returns a report stamped with the current runtime configuration.

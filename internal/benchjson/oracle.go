@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+
+	"aggview/internal/obs"
 )
 
 // OracleFailure is one equivalence violation found by a soak run: the
@@ -26,6 +28,12 @@ type OracleFailure struct {
 	// script (the same checks as `aggview lint`): catalog hazards and
 	// per-view usability records that speed up triage of the repro.
 	Lint []LintDiagnostic `json:"lint,omitempty"`
+	// Metrics is the engine-metrics snapshot taken at failure time —
+	// before shrinking — so the repro carries the cache and worker
+	// state the violation was actually observed under.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Closure is the closure cache's state at failure time.
+	Closure *CacheCounters `json:"closure_cache,omitempty"`
 }
 
 // OracleReport is the machine-readable emission of one oraclerunner
@@ -39,6 +47,9 @@ type OracleReport struct {
 	Rewritings    int             `json:"rewritings"`
 	PaperFaithful bool            `json:"paper_faithful"`
 	Failures      []OracleFailure `json:"failures"`
+	// Closure carries the closure-cache counters accumulated over the
+	// whole soak.
+	Closure *CacheCounters `json:"closure_cache,omitempty"`
 }
 
 // NewOracle returns a report stamped with the current runtime

@@ -19,12 +19,13 @@ import (
 const closeCacheCap = 4096
 
 type closeCache struct {
-	mu     sync.Mutex
-	m      map[string]*Closure
-	order  []string // insertion ring, len == cap once full
-	next   int      // ring slot to displace next
-	hits   int64
-	misses int64
+	mu        sync.Mutex
+	m         map[string]*Closure
+	order     []string // insertion ring, len == cap once full
+	next      int      // ring slot to displace next
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 var globalCloseCache = &closeCache{m: map[string]*Closure{}}
@@ -57,6 +58,7 @@ func CloseCached(c Conj) *Closure {
 		delete(g.m, g.order[g.next])
 		g.order[g.next] = key
 		g.next = (g.next + 1) % closeCacheCap
+		g.evictions++
 	}
 	g.m[key] = cl
 	g.mu.Unlock()
@@ -66,10 +68,28 @@ func CloseCached(c Conj) *Closure {
 // CloseCacheStats reports cumulative hit/miss counters and the current
 // entry count, for benchmarks and diagnostics.
 func CloseCacheStats() (hits, misses int64, size int) {
+	s := CloseCacheSnapshot()
+	return s.Hits, s.Misses, s.Size
+}
+
+// CacheStats is a point-in-time view of the closure cache's counters,
+// for embedding in observability reports (DESIGN.md section 9).
+type CacheStats struct {
+	// Hits and Misses count CloseCached lookups since the last reset.
+	Hits, Misses int64
+	// Evictions counts FIFO displacements of memoized closures.
+	Evictions int64
+	// Size is the current number of memoized closures.
+	Size int
+}
+
+// CloseCacheSnapshot returns the closure cache's cumulative counters
+// and current size.
+func CloseCacheSnapshot() CacheStats {
 	g := globalCloseCache
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.hits, g.misses, len(g.m)
+	return CacheStats{Hits: g.hits, Misses: g.misses, Evictions: g.evictions, Size: len(g.m)}
 }
 
 // ResetCloseCache empties the cache and its counters (tests and
@@ -81,7 +101,7 @@ func ResetCloseCache() {
 	g.m = map[string]*Closure{}
 	g.order = nil
 	g.next = 0
-	g.hits, g.misses = 0, 0
+	g.hits, g.misses, g.evictions = 0, 0, 0
 }
 
 // cacheKey renders a conjunction to a canonical byte string: one record

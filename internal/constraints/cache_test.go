@@ -37,10 +37,17 @@ func TestCloseCachedEvictionBoundary(t *testing.T) {
 		t.Fatalf("boundary probes should both hit, hits=%d", hits)
 	}
 
+	if evs := CloseCacheSnapshot().Evictions; evs != 0 {
+		t.Fatalf("evictions before overflow = %d, want 0", evs)
+	}
+
 	// One past capacity: FIFO evicts the oldest entry only.
 	CloseCached(conjN(closeCacheCap))
 	if _, _, size := CloseCacheStats(); size != closeCacheCap {
 		t.Fatalf("size after overflow = %d, want to stay at %d", size, closeCacheCap)
+	}
+	if evs := CloseCacheSnapshot().Evictions; evs != 1 {
+		t.Fatalf("evictions after overflow = %d, want 1", evs)
 	}
 	_, missesBefore, _ := CloseCacheStats()
 	if got := CloseCached(conjN(0)); got == first {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +12,7 @@ import (
 	"aggview/internal/constraints"
 	"aggview/internal/ir"
 	"aggview/internal/keys"
+	"aggview/internal/obs"
 )
 
 // Options tunes the rewriter.
@@ -50,6 +52,12 @@ type Rewriter struct {
 	Meta keys.MetaSource
 	// Opts tunes the rewriter.
 	Opts Options
+	// Tracer, when non-nil, records every (query, view, mapping)
+	// candidate the search analyzes — with its usability verdict, wave
+	// number and dedup outcome — plus cost-function call counts and
+	// purity anomalies. Nil (the default) keeps the search untraced with
+	// no allocations on the candidate path.
+	Tracer *obs.Tracer
 }
 
 // Rewriting is one rewriting of a query that uses materialized views
@@ -91,8 +99,24 @@ func (rw *Rewriter) meta() keys.MetaSource {
 }
 
 // RewriteOnce returns every single-step rewriting of q that uses view v:
-// one per column mapping satisfying the usability conditions.
+// one per column mapping satisfying the usability conditions. With a
+// Tracer attached, every analyzed candidate is recorded (wave 0, since
+// single-step rewrites are outside the BFS).
 func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
+	out, events := rw.rewriteOnce(q, v, rw.Tracer.Enabled())
+	rw.Tracer.Candidates(events...)
+	return out
+}
+
+// rewriteOnce is the traced body of RewriteOnce. With trace false it
+// performs no event bookkeeping at all — the untraced search pays
+// nothing. With trace true it returns one obs.Candidate per analyzed
+// (mapping, semantics) pair, in analysis order, plus one synthetic C1
+// rejection when the view is categorically unusable under multiset
+// semantics (Section 4.5). Accept events correspond 1:1, in order, to
+// the returned rewritings — Rewritings relies on that to retag events
+// that its global dedup or limit later discards.
+func (rw *Rewriter) rewriteOnce(q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewriting, []obs.Candidate) {
 	qn, vn := q, v.Def
 	if !rw.Opts.NoNormalize {
 		qn = aggreason.Normalize(q)
@@ -103,17 +127,41 @@ func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
 	qIsAgg := qn.IsAggregationQuery()
 
 	var out []*Rewriting
+	var events []obs.Candidate
+	qSQL := ""
+	if trace {
+		qSQL = q.SQL()
+	}
+	record := func(m mapping, setSem bool, verdict obs.Verdict, condition, reason string, r *Rewriting) {
+		if !trace {
+			return
+		}
+		ev := obs.Candidate{
+			Query: qSQL, View: v.Name, Mapping: mappingString(vn, qn, m),
+			SetSemantics: setSem, Verdict: verdict, Condition: condition, Reason: reason,
+		}
+		if r != nil {
+			ev.Rewriting = r.Query.SQL()
+			ev.Notes = append([]string{}, r.Notes...)
+		}
+		events = append(events, ev)
+	}
 	seen := map[string]bool{}
-	add := func(r *Rewriting) {
-		if r == nil {
+	try := func(m mapping, setSem bool) {
+		a := newAnalyzer(rw, qn, vn, v, m, setSem)
+		r, err := a.analyze()
+		if err != nil {
+			record(m, setSem, obs.VerdictReject, conditionOf(err.Error()), err.Error(), nil)
 			return
 		}
 		key := canonicalKey(r.Query)
 		if seen[key] {
+			record(m, setSem, obs.VerdictDedup, "", "duplicate of an earlier mapping's rewriting (canonical key match)", r)
 			return
 		}
 		seen[key] = true
 		out = append(out, r)
+		record(m, setSem, obs.VerdictAccept, "", "", r)
 	}
 
 	// Section 4.5: a view with grouping or aggregation loses tuple
@@ -123,9 +171,16 @@ func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
 
 	if multisetUsable {
 		for _, m := range enumerateMappings(vn, qn, false) {
-			a := newAnalyzer(rw, qn, vn, v, m, false)
-			add(a.run())
+			try(m, false)
 		}
+	} else if trace {
+		reason := "aggregation view loses tuple multiplicities; a non-aggregate query cannot use it under multiset semantics (Section 4.5)"
+		if vn.Distinct {
+			reason = "DISTINCT view is already a set; tuple multiplicities are lost (Section 4.5)"
+		}
+		events = append(events, obs.Candidate{
+			Query: qSQL, View: v.Name, Verdict: obs.VerdictReject, Condition: "C1", Reason: reason,
+		})
 	}
 
 	// Section 5: when both results are provably sets, many-to-1 mappings
@@ -136,14 +191,49 @@ func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
 		if keys.IsSetResult(qn, meta) && keys.IsSetResult(vn, meta) {
 			for _, m := range enumerateMappings(vn, qn, true) {
 				if m.oneToOne && multisetUsable {
-					continue // already tried under multiset semantics
+					record(m, true, obs.VerdictDedup, "", "1-1 mapping already analyzed under multiset semantics", nil)
+					continue
 				}
-				a := newAnalyzer(rw, qn, vn, v, m, true)
-				add(a.run())
+				try(m, true)
 			}
 		}
 	}
-	return out
+	return out, events
+}
+
+// conditionOf extracts the usability-condition label (C1, C2', C3,
+// C4'...) from an analyzer failure message of the form
+// "condition <label>[:(]...". Messages without the prefix — internal
+// errors, set-semantics containment failures — yield "".
+func conditionOf(msg string) string {
+	const prefix = "condition "
+	if !strings.HasPrefix(msg, prefix) {
+		return ""
+	}
+	rest := msg[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ':' || rest[i] == ' ' || rest[i] == '(' {
+			return rest[:i]
+		}
+	}
+	return rest
+}
+
+// mappingString renders a column mapping sigma for trace events:
+// each view column's image by name, plus the many-to-1 marker.
+func mappingString(vn, qn *ir.Query, m mapping) string {
+	if len(m.colMap) == 0 {
+		return ""
+	}
+	parts := make([]string, len(m.colMap))
+	for vc, qc := range m.colMap {
+		parts[vc] = vn.Col(ir.ColID(vc)).Name + "->" + qn.Col(qc).Name
+	}
+	s := strings.Join(parts, ", ")
+	if !m.oneToOne {
+		s += " (many-to-1)"
+	}
+	return s
 }
 
 // workers resolves the Workers knob: 0 means GOMAXPROCS, 1 serial.
@@ -176,11 +266,14 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 	if limit <= 0 {
 		limit = 128
 	}
+	traceOn := rw.Tracer.Enabled()
 	views := rw.Views.All()
 	seen := map[string]bool{canonicalKey(q): true}
 	var results []*Rewriting
 	frontier := []*Rewriting{{Query: q}}
+	wave := 0
 	for len(frontier) > 0 && len(results) < limit {
+		wave++
 		type job struct {
 			cur *Rewriting
 			v   *ir.ViewDef
@@ -191,7 +284,9 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 				jobs = append(jobs, job{cur, v})
 			}
 		}
+		rw.Tracer.Wave(len(jobs), len(frontier))
 		steps := make([][]*Rewriting, len(jobs))
+		events := make([][]obs.Candidate, len(jobs))
 		if w := rw.workers(); w > 1 && len(jobs) > 1 {
 			if w > len(jobs) {
 				w = len(jobs)
@@ -207,20 +302,47 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 						if i >= len(jobs) {
 							return
 						}
-						steps[i] = rw.RewriteOnce(jobs[i].cur.Query, jobs[i].v)
+						steps[i], events[i] = rw.rewriteOnce(jobs[i].cur.Query, jobs[i].v, traceOn)
 					}
 				}()
 			}
 			wg.Wait()
 		} else {
 			for i, j := range jobs {
-				steps[i] = rw.RewriteOnce(j.cur.Query, j.v)
+				steps[i], events[i] = rw.rewriteOnce(j.cur.Query, j.v, traceOn)
+			}
+		}
+		if traceOn {
+			for i := range events {
+				for p := range events[i] {
+					events[i][p].Wave = wave
+				}
+			}
+		}
+		// Flush emits the wave's events in job order after the serial
+		// commit loop has retagged them; a trace is therefore recorded in
+		// the exact order the serial enumeration would visit candidates,
+		// independent of the worker count.
+		flush := func() {
+			if !traceOn {
+				return
+			}
+			for i := range events {
+				rw.Tracer.Candidates(events[i]...)
 			}
 		}
 		var nextFrontier []*Rewriting
 		for i, j := range jobs {
 			cur := j.cur
-			for _, step := range steps[i] {
+			// Accept events correspond 1:1, in order, to steps[i]; the
+			// commit loop retags the ones the global dedup discards.
+			var acceptPos []int
+			for p := range events[i] {
+				if events[i][p].Verdict == obs.VerdictAccept {
+					acceptPos = append(acceptPos, p)
+				}
+			}
+			for si, step := range steps[i] {
 				combined := &Rewriting{
 					Query:   step.Query,
 					Aux:     append(append([]*ir.ViewDef{}, cur.Aux...), step.Aux...),
@@ -230,19 +352,48 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 				}
 				key := canonicalKey(combined.Query)
 				if seen[key] {
+					if traceOn && si < len(acceptPos) {
+						e := &events[i][acceptPos[si]]
+						e.Verdict = obs.VerdictDedup
+						e.Reason = "rewriting already reached via an earlier search path (canonical key match)"
+					}
 					continue
 				}
 				seen[key] = true
 				results = append(results, combined)
 				nextFrontier = append(nextFrontier, combined)
 				if len(results) >= limit {
+					if traceOn {
+						annotateUncommitted(events, i, acceptPos, si)
+						flush()
+					}
 					return results
 				}
 			}
 		}
+		flush()
 		frontier = nextFrontier
 	}
 	return results
+}
+
+// annotateUncommitted marks accept events the MaxRewritings cut left
+// uncommitted: job i's accepts after step index si, and every accept of
+// the jobs after i. The candidates passed their usability analysis —
+// the verdict stands — but the reason records that the enumeration
+// stopped before admitting them.
+func annotateUncommitted(events [][]obs.Candidate, i int, acceptPos []int, si int) {
+	const cut = "accepted by analysis, but MaxRewritings cut the enumeration before commit"
+	for _, p := range acceptPos[si+1:] {
+		events[i][p].Reason = cut
+	}
+	for j := i + 1; j < len(events); j++ {
+		for p := range events[j] {
+			if events[j][p].Verdict == obs.VerdictAccept {
+				events[j][p].Reason = cut
+			}
+		}
+	}
 }
 
 // Best returns the cheapest rewriting according to the cost function
@@ -266,6 +417,18 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 				}
 			}
 			return n
+		}
+	}
+	if rw.Tracer.Enabled() {
+		// Best assumes the cost callback is a pure function of the query.
+		// Record every invocation keyed by canonical form; the tracer
+		// flags a purity anomaly when the same canonical query is ever
+		// costed differently (e.g. a callback reading ambient state).
+		inner := cost
+		cost = func(q *ir.Query) float64 {
+			c := inner(q)
+			rw.Tracer.CostCall(canonicalKey(q), c)
+			return c
 		}
 	}
 	var best *Rewriting

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aggview/internal/ir"
+	"aggview/internal/obs"
+)
+
+// traceViews pairs the usable telco view with a DISTINCT view the
+// search must reject outright, so traces exercise accept, reject and
+// dedup verdicts together.
+func traceViews() map[string]string {
+	return map[string]string{
+		"V1": telcoV1,
+		"VD": `SELECT DISTINCT Plan_Id, Plan_Name FROM Calling_Plans`,
+	}
+}
+
+func TestRewritingsTraceMatchesResults(t *testing.T) {
+	rw := newRewriter(t, traceViews(), Options{})
+	rw.Tracer = obs.NewTracer()
+	q := buildQ(t, rw, telcoQ)
+	rws := rw.Rewritings(q)
+	if len(rws) == 0 {
+		t.Fatal("telco query must rewrite")
+	}
+	tr := rw.Tracer.Snapshot()
+	if tr.Waves == 0 || tr.Jobs == 0 || tr.MaxFrontier == 0 {
+		t.Fatalf("wave bookkeeping missing: %+v", tr)
+	}
+	accepts := 0
+	for _, c := range tr.Candidates {
+		if c.View == "" {
+			t.Fatalf("candidate without a view: %+v", c)
+		}
+		if c.Wave == 0 {
+			t.Fatalf("BFS candidate without a wave number: %+v", c)
+		}
+		switch c.Verdict {
+		case obs.VerdictAccept:
+			if c.Rewriting == "" {
+				t.Fatalf("accepted candidate without its rewriting: %+v", c)
+			}
+			if c.Reason == "" {
+				accepts++
+			}
+		case obs.VerdictReject:
+			if c.Reason == "" {
+				t.Fatalf("rejected candidate without a reason: %+v", c)
+			}
+		case obs.VerdictDedup:
+		default:
+			t.Fatalf("unknown verdict %q", c.Verdict)
+		}
+	}
+	// Every committed rewriting is an accept event with no cut reason.
+	if accepts != len(rws) {
+		t.Fatalf("committed accepts = %d, rewritings = %d", accepts, len(rws))
+	}
+	// The DISTINCT view must produce a categorical C1 rejection.
+	sawC1 := false
+	for _, c := range tr.Candidates {
+		if c.View == "VD" && c.Verdict == obs.VerdictReject && c.Condition == "C1" {
+			sawC1 = true
+		}
+	}
+	if !sawC1 {
+		t.Error("DISTINCT view was not rejected with condition C1")
+	}
+}
+
+// TestTraceDeterministicAcrossWorkers pins the serial-commit contract
+// for traces: the recorded event stream is byte-identical at any worker
+// count, not just the result list.
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		rw := newRewriter(t, traceViews(), Options{Workers: workers})
+		rw.Tracer = obs.NewTracer()
+		q := buildQ(t, rw, telcoQ)
+		rw.Rewritings(q)
+		b, err := json.Marshal(rw.Tracer.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := render(1)
+	for _, w := range []int{0, 2, 7} {
+		if got := render(w); got != serial {
+			t.Fatalf("trace differs at Workers=%d:\n%s\nvs serial:\n%s", w, got, serial)
+		}
+	}
+}
+
+func TestRewriteOnceTracesOutsideBFS(t *testing.T) {
+	rw := newRewriter(t, map[string]string{"V1": telcoV1}, Options{})
+	rw.Tracer = obs.NewTracer()
+	q := buildQ(t, rw, telcoQ)
+	rws := rw.RewriteOnce(q, mustView(t, rw, "V1"))
+	tr := rw.Tracer.Snapshot()
+	if len(tr.Candidates) == 0 {
+		t.Fatal("RewriteOnce recorded no candidates")
+	}
+	for _, c := range tr.Candidates {
+		if c.Wave != 0 {
+			t.Fatalf("single-step candidates must stay at wave 0: %+v", c)
+		}
+	}
+	accepts := 0
+	for _, c := range tr.Candidates {
+		if c.Verdict == obs.VerdictAccept {
+			accepts++
+		}
+	}
+	if accepts != len(rws) {
+		t.Fatalf("accepts = %d, rewritings = %d", accepts, len(rws))
+	}
+}
+
+func TestBestFlagsImpureCost(t *testing.T) {
+	rw := newRewriter(t, map[string]string{"V1": telcoV1}, Options{})
+	rw.Tracer = obs.NewTracer()
+	q := buildQ(t, rw, telcoQ)
+
+	// A pure cost function: no anomalies, but every call counted.
+	if r := rw.Best(q, func(q *ir.Query) float64 { return float64(len(q.Tables)) }); r == nil {
+		t.Fatal("telco query must have a best rewriting")
+	}
+	tr := rw.Tracer.Snapshot()
+	if tr.CostCalls == 0 {
+		t.Fatal("cost calls not counted")
+	}
+	if len(tr.CostAnomalies) != 0 {
+		t.Fatalf("pure cost flagged: %+v", tr.CostAnomalies)
+	}
+
+	// An impure one reading ambient state: flagged. Two Best runs cost
+	// the same canonical candidates at different ambient values.
+	rw.Tracer.Reset()
+	calls := 0
+	impure := func(q *ir.Query) float64 { calls++; return float64(calls) }
+	rw.Best(q, impure)
+	rw.Best(q, impure)
+	tr = rw.Tracer.Snapshot()
+	if len(tr.CostAnomalies) == 0 {
+		t.Fatal("impure cost function not flagged")
+	}
+}
+
+func TestConditionOf(t *testing.T) {
+	cases := []struct{ msg, want string }{
+		{"condition C3: Conds' = x", "C3"},
+		{"condition C2': grouping column not exposed", "C2'"},
+		{"condition C3' (HAVING): leftover condition", "C3'"},
+		{"condition C1 violated", "C1"},
+		{"set-semantics candidate failed the containment verification", ""},
+		{"internal: no such column", ""},
+	}
+	for _, c := range cases {
+		if got := conditionOf(c.msg); got != c.want {
+			t.Errorf("conditionOf(%q) = %q, want %q", c.msg, got, c.want)
+		}
+	}
+}

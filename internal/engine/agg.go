@@ -160,6 +160,9 @@ func collectAggs(q *ir.Query) ([]*ir.Agg, map[*ir.Agg]int) {
 // materializing each group's row set; grouped inputs are folded by a
 // hash-partitioned worker pool (see groupFold).
 func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation) error {
+	sw := ev.Metrics.Time("engine.agg.ns")
+	defer sw.Stop()
+	ev.Metrics.Counter("engine.agg.rows").Add(int64(len(rows)))
 	aggs, aggIdx := collectAggs(q)
 	var groups []*group
 	if len(q.GroupBy) == 0 {
@@ -182,6 +185,7 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 			return err
 		}
 	}
+	ev.Metrics.Counter("engine.agg.groups").Add(int64(len(groups)))
 
 	for _, g := range groups {
 		keep := true
@@ -231,7 +235,7 @@ func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg
 	w := ev.workersFor(len(rows))
 	keys := make([]string, len(rows))
 	shard := make([]uint8, len(rows))
-	runChunks(w, len(rows), func(lo, hi int) {
+	ev.runChunks(w, len(rows), func(lo, hi int) {
 		var b []byte
 		for i := lo; i < hi; i++ {
 			b = b[:0]
@@ -270,7 +274,7 @@ func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg
 			}
 		}
 	}
-	runChunks(w, w, func(lo, hi int) {
+	ev.runChunks(w, w, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			runShard(s)
 		}

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
 	"aggview/internal/ir"
+	"aggview/internal/obs"
 	"aggview/internal/value"
 )
 
@@ -33,6 +36,11 @@ type Evaluator struct {
 	// byte-identical at every setting (see DESIGN.md, "Parallel
 	// execution & search").
 	Workers int
+	// Metrics, when non-nil, receives per-kernel row counters, stage
+	// timers, pool activity and view-cache hit/miss counts, and tags
+	// worker goroutines with pprof labels. Nil (the default) keeps every
+	// hook a no-op with no allocations on the hot path.
+	Metrics *obs.Metrics
 
 	mu    sync.Mutex
 	cache map[string]*viewEntry
@@ -53,8 +61,36 @@ func NewEvaluator(db *DB, views ViewSource) *Evaluator {
 }
 
 // Exec evaluates the query and returns its result relation. The result's
-// attribute names come from ir.OutputNames.
+// attribute names come from ir.OutputNames. With Metrics attached the
+// whole evaluation runs under a pprof label naming the query's FROM
+// sources, so CPU and goroutine profiles attribute worker time to the
+// query that spawned it (labels are inherited by child goroutines).
 func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
+	if ev.Metrics == nil {
+		return ev.exec(q)
+	}
+	var out *Relation
+	var err error
+	sw := ev.Metrics.Time("engine.exec.ns")
+	pprof.Do(context.Background(), pprof.Labels("aggview_query", queryLabel(q)), func(context.Context) {
+		out, err = ev.exec(q)
+	})
+	sw.Stop()
+	return out, err
+}
+
+// queryLabel renders a query's FROM sources for pprof labeling.
+func queryLabel(q *ir.Query) string {
+	srcs := make([]string, len(q.Tables))
+	for i, t := range q.Tables {
+		srcs[i] = t.Source
+	}
+	return strings.Join(srcs, ",")
+}
+
+// exec is the unlabeled evaluation body behind Exec.
+func (ev *Evaluator) exec(q *ir.Query) (*Relation, error) {
+	ev.Metrics.Counter("engine.exec").Inc()
 	rows, err := ev.joinRows(q)
 	if err != nil {
 		return nil, err
@@ -65,7 +101,7 @@ func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
 			return nil, err
 		}
 	} else {
-		tuples, err := parMapFlat(ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
+		tuples, err := ev.parMapFlat(ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
 			row := rows[i]
 			tuple := make([]value.Value, len(q.Select))
 			for k, it := range q.Select {
@@ -81,6 +117,7 @@ func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		ev.Metrics.Counter("engine.project.rows").Add(int64(len(tuples)))
 		out.Tuples = tuples
 	}
 	if q.Distinct {
@@ -117,14 +154,31 @@ func (ev *Evaluator) resolve(name string) (*Relation, error) {
 		ev.cache[key] = e
 	}
 	ev.mu.Unlock()
+	// Entry creation is guarded by the mutex, so every view misses
+	// exactly once per evaluator no matter how many resolvers race; the
+	// hit/miss split is therefore deterministic for a fixed workload.
+	if ok {
+		ev.Metrics.Counter("engine.view_cache.hit").Inc()
+	} else {
+		ev.Metrics.Counter("engine.view_cache.miss").Inc()
+	}
 	e.once.Do(func() {
-		r, err := ev.Exec(e.def.Def)
-		if err != nil {
-			e.err = fmt.Errorf("engine: materializing view %s: %w", name, err)
-			return
+		materialize := func() {
+			r, err := ev.Exec(e.def.Def)
+			if err != nil {
+				e.err = fmt.Errorf("engine: materializing view %s: %w", name, err)
+				return
+			}
+			r.Attrs = append([]string{}, e.def.OutCols...)
+			e.rel = r
 		}
-		r.Attrs = append([]string{}, e.def.OutCols...)
-		e.rel = r
+		if ev.Metrics == nil {
+			materialize()
+		} else {
+			pprof.Do(context.Background(), pprof.Labels("aggview_view", name), func(context.Context) {
+				materialize()
+			})
+		}
 	})
 	return e.rel, e.err
 }
@@ -188,11 +242,12 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 	// scan byte for byte.
 	width := q.NumCols()
 	filtered := make([][][]value.Value, n)
+	swScan := ev.Metrics.Time("engine.scan.ns")
 	for i := range rels {
 		cols := q.Tables[i].Cols
 		tuples := rels[i].Tuples
 		preds := perTable[i]
-		rows, err := parMapFlat(ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
+		rows, err := ev.parMapFlat(ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
 			row := make([]value.Value, width)
 			for pos, id := range cols {
 				row[id] = tuples[j][pos]
@@ -212,11 +267,16 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		ev.Metrics.Counter("engine.scan.rows").Add(int64(len(tuples)))
+		ev.Metrics.Counter("engine.scan.kept").Add(int64(len(rows)))
 		filtered[i] = rows
 	}
+	swScan.Stop()
 
 	// Greedy hash-join order: start with the smallest table; prefer
 	// tables connected to the joined set by an equality predicate.
+	swJoin := ev.Metrics.Time("engine.join.ns")
+	defer swJoin.Stop()
 	joined := map[int]bool{}
 	pickFirst := 0
 	for i := 1; i < n; i++ {
@@ -276,7 +336,7 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 			if (p.L.IsConst || joined[tableOf(p.L.Col)]) && (p.R.IsConst || joined[tableOf(p.R.Col)]) {
 				pred := p
 				rows := current
-				kept, err := parMapFlat(ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
+				kept, err := ev.parMapFlat(ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
 					h, err := predHolds(pred, rows[j])
 					if err != nil {
 						return err
@@ -311,17 +371,20 @@ type keyPair struct{ l, r ir.ColID }
 // rows) is partitioned across workers, with per-worker buffers merged in
 // partition order so the output order matches the serial join exactly.
 func (ev *Evaluator) hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) [][]value.Value {
+	ev.Metrics.Counter("engine.join.probe").Add(int64(len(left)))
+	ev.Metrics.Histogram("engine.join.build_rows").Observe(int64(len(right)))
 	if len(left) == 0 || len(right) == 0 {
 		return nil
 	}
 	workers := ev.workersFor(len(left))
 	if len(keys) == 0 {
-		out, _ := parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
+		out, _ := ev.parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
 			for _, r := range right {
 				emit(mergeRows(left[i], r, nextCols))
 			}
 			return nil
 		})
+		ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
 		return out
 	}
 	pairs := make([]keyPair, len(keys))
@@ -337,12 +400,13 @@ func (ev *Evaluator) hashJoin(left, right [][]value.Value, keys []ir.Pred, table
 		k := joinKey(row, pairs, false)
 		index[k] = append(index[k], row)
 	}
-	out, _ := parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
+	out, _ := ev.parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
 		for _, r := range index[joinKey(left[i], pairs, true)] {
 			emit(mergeRows(left[i], r, nextCols))
 		}
 		return nil
 	})
+	ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
 	return out
 }
 

@@ -39,17 +39,23 @@ func (ev *Evaluator) workersFor(n int) int {
 
 // runChunks runs fn over contiguous index ranges covering [0, n) on
 // `workers` goroutines. fn must only touch state owned by its range.
-func runChunks(workers, n int, fn func(lo, hi int)) {
+// Pool activity is recorded under volatile metric names: launch and
+// chunk counts depend on the worker knob, so they are excluded from the
+// deterministic snapshot (DESIGN.md section 9).
+func (ev *Evaluator) runChunks(workers, n int, fn func(lo, hi int)) {
 	if workers <= 1 || n == 0 {
+		ev.Metrics.Volatile("engine.pool.serial").Inc()
 		fn(0, n)
 		return
 	}
+	launched := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		if lo == hi {
 			continue
 		}
+		launched++
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -57,6 +63,9 @@ func runChunks(workers, n int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	ev.Metrics.Volatile("engine.pool.launches").Inc()
+	ev.Metrics.Volatile("engine.pool.chunks").Add(int64(launched))
+	ev.Metrics.Volatile("engine.pool.width").Max(int64(launched))
 }
 
 // parMapFlat maps each index in [0, n) to zero or more output rows,
@@ -66,8 +75,9 @@ func runChunks(workers, n int, fn func(lo, hi int)) {
 // the serial loop would have hit first (the first error of the earliest
 // failing partition; earlier partitions either fail earlier or not at
 // all, since errors stop a partition at its first failing index).
-func parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) ([][]value.Value, error) {
+func (ev *Evaluator) parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) ([][]value.Value, error) {
 	if workers <= 1 {
+		ev.Metrics.Volatile("engine.pool.serial").Inc()
 		var out [][]value.Value
 		emit := func(r []value.Value) { out = append(out, r) }
 		for i := 0; i < n; i++ {
@@ -82,12 +92,14 @@ func parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) 
 		err  error
 	}
 	parts := make([]part, workers)
+	launched := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		if lo == hi {
 			continue
 		}
+		launched++
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -102,6 +114,9 @@ func parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) 
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	ev.Metrics.Volatile("engine.pool.launches").Inc()
+	ev.Metrics.Volatile("engine.pool.chunks").Add(int64(launched))
+	ev.Metrics.Volatile("engine.pool.width").Max(int64(launched))
 	total := 0
 	for w := range parts {
 		if parts[w].err != nil {

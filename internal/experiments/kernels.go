@@ -11,8 +11,10 @@ import (
 
 	"aggview/internal/benchjson"
 	"aggview/internal/constraints"
+	"aggview/internal/datagen"
 	"aggview/internal/engine"
 	"aggview/internal/ir"
+	"aggview/internal/obs"
 )
 
 // kernelWorkerCounts returns the pool sizes to measure: serial, 2, and
@@ -38,6 +40,9 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 	if rep.GoMaxProcs == 1 {
 		rep.Note("GOMAXPROCS=1: multi-worker rows measure scheduling overhead, not parallel speedup")
 	}
+	// Cold-start the closure cache so the report's closure_cache section
+	// covers exactly this run.
+	constraints.ResetCloseCache()
 	reps := 3
 	telcoScale, conjScale, searchScale := 100000, 50000, 10000
 	if quick {
@@ -136,5 +141,49 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 		rep.Note("closure memoization: cold/warm = %.1fx on a %d-atom conjunction", float64(cold)/float64(warm), atoms)
 	}
 
+	// One instrumented telco execution embeds an engine-metrics snapshot
+	// (row counters, view-cache hits, pool activity) in the report; the
+	// scale is small so the instrumented run does not dominate -quick.
+	{
+		scale := 5000
+		s := telcoSystem(scale)
+		q, err := s.Parse(TelcoQuery)
+		if err != nil {
+			panic(err)
+		}
+		rws, err := s.Rewritings(TelcoQuery)
+		if err != nil || len(rws) == 0 {
+			panic("telco rewriting missing")
+		}
+		m := obs.NewMetrics()
+		ev := engine.NewEvaluator(s.DB, s.Views)
+		ev.Metrics = m
+		if _, err := ev.Exec(q); err != nil {
+			panic(err)
+		}
+		// The rewritten plan runs against a database without the
+		// materialized V1, so the singleflight view cache sees real
+		// traffic: one miss on first resolve, then a hit.
+		base := datagen.Telco(datagen.TelcoConfig{Calls: scale, Seed: 1})
+		ev2 := engine.NewEvaluator(base, s.Views)
+		ev2.Metrics = m
+		for i := 0; i < 2; i++ {
+			if _, err := ev2.Exec(rws[0].Query); err != nil {
+				panic(err)
+			}
+		}
+		snap := m.Snapshot()
+		rep.Engine = &snap
+		hits := snap.Counters["engine.view_cache.hit"]
+		misses := snap.Counters["engine.view_cache.miss"]
+		rep.Note("engine metrics: telco scale %d scanned %d rows, view cache %d hit / %d miss",
+			scale, snap.Counters["engine.scan.rows"], hits, misses)
+	}
+
+	cs := constraints.CloseCacheSnapshot()
+	rep.Closure = &benchjson.CacheCounters{
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Size: cs.Size,
+	}
+	rep.Note("closure cache: %d hits, %d misses, %d evictions, %d resident", cs.Hits, cs.Misses, cs.Evictions, cs.Size)
 	return rep
 }

@@ -1,0 +1,60 @@
+package obs
+
+import "time"
+
+// Sampler runs a sampling callback on a monitor goroutine at a fixed
+// interval — e.g. recording a runtime gauge (goroutine count, queue
+// depth) into a Volatile counter while a benchmark or soak runs. It is
+// the one intentionally long-lived goroutine in the observability
+// layer: the goroutine outlives Start, and ownership transfers to Stop,
+// which joins it (see the //aggvet:waitleak justification on the
+// launch).
+type Sampler struct {
+	interval time.Duration
+	sample   func()
+	done     chan struct{}
+	stopped  chan struct{}
+}
+
+// NewSampler builds a sampler that invokes sample every interval once
+// started. A non-positive interval defaults to 10ms.
+func NewSampler(interval time.Duration, sample func()) *Sampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Sampler{
+		interval: interval,
+		sample:   sample,
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// Start launches the monitor goroutine. Call Stop exactly once to join
+// it; Start must not be called twice.
+func (s *Sampler) Start() {
+	//aggvet:waitleak monitor goroutine: ownership transfers to Stop, which closes done and joins via the stopped channel
+	go s.loop()
+}
+
+// loop samples until done is closed, then signals stopped.
+func (s *Sampler) loop() {
+	defer close(s.stopped)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// Stop halts the sampler and joins the monitor goroutine; after Stop
+// returns, sample will never be invoked again.
+func (s *Sampler) Stop() {
+	close(s.done)
+	<-s.stopped
+}

@@ -7,6 +7,7 @@ import (
 	"aggview"
 	"aggview/internal/core"
 	"aggview/internal/engine"
+	"aggview/internal/obs"
 )
 
 // Options configures a differential check.
@@ -24,6 +25,11 @@ type Options struct {
 	// exists for fault injection: tests break an S1–S4 step on purpose
 	// and assert the checker notices.
 	Tamper func(*core.Rewriting)
+	// Metrics, when non-nil, is attached to the compiled system so the
+	// check's engine executions report kernel counters into it; a
+	// snapshot taken when a violation surfaces then rides along with
+	// the shrunk repro (cmd/oraclerunner).
+	Metrics *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +96,7 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys.Metrics = opt.Metrics
 	sql := c.Query.SQL()
 
 	// Reference: direct execution, serial.

@@ -17,6 +17,14 @@ go vet ./...
 go run ./cmd/aggvet ./...
 go run ./cmd/aggview lint cmd/aggview/testdata/demo.sql
 
+# Observability gate (DESIGN.md section 9): trace the rewrite search
+# over the demo catalog, then strictly re-decode the written report and
+# prove it round-trips through JSON without loss.
+TRACE_JSON="$(mktemp /tmp/aggview-trace.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON"' EXIT
+go run ./cmd/aggview explain -trace -json "$TRACE_JSON" cmd/aggview/testdata/demo.sql > /dev/null
+go run ./cmd/aggview explain -replay "$TRACE_JSON"
+
 go test ./...
 go test -race -short ./...
 
