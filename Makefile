@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-json quick soak trace
+.PHONY: build test race vet lint check bench bench-json quick soak trace faults
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,13 @@ trace:
 
 quick:
 	$(GO) run ./cmd/benchrunner -quick
+
+# faults runs the full cancellation/budget/fault-injection suites under
+# the race detector, then a short oracle soak with injection on every
+# trial (DESIGN.md section 10).
+faults:
+	$(GO) test -race -run 'Cancel|Budget|FaultInject' ./...
+	$(GO) run ./cmd/oraclerunner -seeds 11,12 -n 200
 
 # soak runs the differential-testing oracle over a fixed seed set, both
 # rewriter configurations, and writes a failure report (empty on a clean

@@ -16,10 +16,12 @@
 package aggview
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"aggview/internal/advisor"
+	"aggview/internal/budget"
 	"aggview/internal/core"
 	"aggview/internal/cost"
 	"aggview/internal/engine"
@@ -104,6 +106,36 @@ func (s *System) evaluator(reg *ir.Registry) *engine.Evaluator {
 	ev.Workers = s.Opts.Workers
 	ev.Metrics = s.Metrics
 	return ev
+}
+
+// opCtx prepares a per-operation context from the system's resource
+// knobs: Opts.Deadline (when set) becomes a timeout, and
+// Opts.MaxRows/MaxCandidates attach a fresh budget meter unless the
+// caller already supplied one via budget.WithMeter (a caller-supplied
+// meter wins, so one pool can span several operations). Every public
+// operation — including the plain, context-free variants — routes
+// through opCtx, so the knobs apply uniformly. The returned cancel
+// releases the deadline timer.
+func (s *System) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if s.Opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.Opts.Deadline)
+	}
+	if budget.MeterFrom(ctx) == nil && (s.Opts.MaxRows > 0 || s.Opts.MaxCandidates > 0) {
+		ctx = budget.WithMeter(ctx, budget.NewMeter(budget.Limits{
+			MaxRows:       s.Opts.MaxRows,
+			MaxCandidates: s.Opts.MaxCandidates,
+		}))
+	}
+	return ctx, cancel
+}
+
+// noteFallback records a graceful degradation in the tracer and
+// metrics, so a budget-shaped answer is never mistaken for the result
+// of a completed rewrite search.
+func (s *System) noteFallback(op string, err error) {
+	s.Tracer.Fallback(op, err.Error())
+	s.Metrics.Volatile("facade.fallback.budget").Inc()
 }
 
 // Rewriter returns the configured rewriter.
@@ -271,11 +303,20 @@ func (s *System) AdoptDB(db *engine.DB, names ...string) {
 // and stores the result under the view's name, so subsequent queries
 // (and rewritings) scan the materialization instead of recomputing it.
 func (s *System) Materialize(name string) (*Result, error) {
+	return s.MaterializeContext(context.Background(), name)
+}
+
+// MaterializeContext is Materialize under a context: cancellation,
+// deadline expiry and an exhausted row budget abort the evaluation with
+// a typed error and nothing is stored.
+func (s *System) MaterializeContext(ctx context.Context, name string) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	v, ok := s.Views.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("aggview: unknown view %q", name)
 	}
-	res, err := s.evaluator(s.Views).Exec(v.Def)
+	res, err := s.evaluator(s.Views).ExecContext(ctx, v.Def)
 	if err != nil {
 		return nil, err
 	}
@@ -325,6 +366,20 @@ func (s *System) mergedViews(anon *ir.Registry) (*ir.Registry, error) {
 
 // Query parses and executes a SELECT directly (no rewriting).
 func (s *System) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: cancellation, deadline expiry
+// and an exhausted row budget abort the evaluation at row-batch
+// granularity with a typed *budget.Canceled or *budget.Exceeded and no
+// partial result.
+func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	return s.query(ctx, sql)
+}
+
+func (s *System) query(ctx context.Context, sql string) (*Result, error) {
 	q, anon, err := s.parseMulti(sql)
 	if err != nil {
 		return nil, err
@@ -333,7 +388,7 @@ func (s *System) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.evaluator(reg).Exec(q)
+	return s.evaluator(reg).ExecContext(ctx, q)
 }
 
 // MustQuery is Query, panicking on error.
@@ -352,6 +407,17 @@ func (s *System) MustQuery(sql string) *Result {
 // query over a logical view can be routed to a different materialized
 // one.
 func (s *System) Rewritings(sql string) ([]*Rewriting, error) {
+	return s.RewritingsContext(context.Background(), sql)
+}
+
+// RewritingsContext is Rewritings under a context: cancellation,
+// deadline expiry and an exhausted candidate budget abort the search
+// with a typed error and no partial enumeration. There is no fallback
+// here — enumerating rewritings is the operation itself; Plan and
+// QueryBest are the entry points that degrade gracefully.
+func (s *System) RewritingsContext(ctx context.Context, sql string) ([]*Rewriting, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	q, anon, err := s.parseMulti(sql)
 	if err != nil {
 		return nil, err
@@ -360,7 +426,10 @@ func (s *System) Rewritings(sql string) ([]*Rewriting, error) {
 	if err != nil {
 		return nil, err
 	}
-	rws := s.Rewriter().Rewritings(flat)
+	rws, err := s.Rewriter().RewritingsContext(ctx, flat)
+	if err != nil {
+		return nil, err
+	}
 	s.attachAnon(rws, anon)
 	return rws, nil
 }
@@ -407,6 +476,23 @@ func (s *System) estimator() *cost.Estimator {
 // original plan or a view-based rewriting. It returns the chosen
 // rewriting (nil when the original query wins) without executing.
 func (s *System) Plan(sql string) (*Rewriting, error) {
+	return s.PlanContext(context.Background(), sql)
+}
+
+// PlanContext is Plan under a context. When the rewrite search exhausts
+// its candidate budget, Plan degrades gracefully instead of failing:
+// the exhaustion is recorded as a fallback in the tracer and metrics
+// (provenance: the answer is direct evaluation because the search was
+// cut, not because no rewriting exists) and the original query wins —
+// a nil rewriting is returned. Cancellation and deadline expiry
+// propagate as typed errors.
+func (s *System) PlanContext(ctx context.Context, sql string) (*Rewriting, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	return s.plan(ctx, sql)
+}
+
+func (s *System) plan(ctx context.Context, sql string) (*Rewriting, error) {
 	q, anon, err := s.parseMulti(sql)
 	if err != nil {
 		return nil, err
@@ -418,7 +504,14 @@ func (s *System) Plan(sql string) (*Rewriting, error) {
 	est := s.estimator()
 	bestCost := est.Estimate(q)
 	var best *Rewriting
-	rws := s.Rewriter().Rewritings(q)
+	rws, err := s.Rewriter().RewritingsContext(ctx, q)
+	if err != nil {
+		if budget.IsExceeded(err) {
+			s.noteFallback("Plan", err)
+			return nil, nil
+		}
+		return nil, err
+	}
 	s.attachAnon(rws, anon)
 	for _, r := range rws {
 		if c := est.Estimate(r.Query); c < bestCost {
@@ -433,19 +526,31 @@ func (s *System) Plan(sql string) (*Rewriting, error) {
 // Rewritings that reference unmaterialized views still work: their
 // definitions are evaluated on the fly.
 func (s *System) QueryBest(sql string) (*Result, *Rewriting, error) {
-	r, err := s.Plan(sql)
+	return s.QueryBestContext(context.Background(), sql)
+}
+
+// QueryBestContext is QueryBest under a context. The rewrite search and
+// the subsequent execution draw from one budget pool (a meter on the
+// context, or one spun up from Opts.MaxRows/MaxCandidates). A search
+// cut by its candidate budget falls back to direct evaluation — tagged
+// as a fallback in the tracer — while a row budget exhausted during
+// execution is terminal: there is no cheaper strategy left to try.
+func (s *System) QueryBestContext(ctx context.Context, sql string) (*Result, *Rewriting, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	r, err := s.plan(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
 	if r == nil {
-		res, err := s.Query(sql)
+		res, err := s.query(ctx, sql)
 		return res, nil, err
 	}
 	reg, err := s.viewsWithAux(r)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := s.evaluator(reg).Exec(r.Query)
+	res, err := s.evaluator(reg).ExecContext(ctx, r.Query)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -454,11 +559,19 @@ func (s *System) QueryBest(sql string) (*Result, *Rewriting, error) {
 
 // ExecRewriting executes a specific rewriting against the database.
 func (s *System) ExecRewriting(r *Rewriting) (*Result, error) {
+	return s.ExecRewritingContext(context.Background(), r)
+}
+
+// ExecRewritingContext is ExecRewriting under a context, honoring
+// cancellation, deadlines and row budgets like QueryContext.
+func (s *System) ExecRewritingContext(ctx context.Context, r *Rewriting) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
 	reg, err := s.viewsWithAux(r)
 	if err != nil {
 		return nil, err
 	}
-	return s.evaluator(reg).Exec(r.Query)
+	return s.evaluator(reg).ExecContext(ctx, r.Query)
 }
 
 // viewsWithAux layers a rewriting's auxiliary views over the registry.

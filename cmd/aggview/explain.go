@@ -89,6 +89,7 @@ func explain(path string, data dataFlags, paperFaithful, trace bool, jsonOut str
 			Candidates:    tr.Candidates,
 			CostCalls:     tr.CostCalls,
 			CostAnomalies: tr.CostAnomalies,
+			Fallbacks:     tr.Fallbacks,
 		}
 		for _, c := range tr.Candidates {
 			if c.Verdict == obs.VerdictAccept && c.Reason == "" {

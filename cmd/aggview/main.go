@@ -7,6 +7,7 @@
 // Usage:
 //
 //	aggview [-data table=file.csv ...] [-exec] [-paper-faithful] script.sql
+//	aggview -timeout 5s -max-rows 1000000 -exec ... script.sql   # bounded queries
 //	aggview -demo          # run the built-in Example 1.1 demo
 //
 // Script example:
@@ -54,6 +55,9 @@ func main() {
 	exec := flag.Bool("exec", false, "execute each query (requires data)")
 	plan := flag.Bool("plan", false, "print the engine's physical plan for each query")
 	paperFaithful := flag.Bool("paper-faithful", false, "restrict to the paper's original operations (no arithmetic inside aggregates)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline for rewrite search and execution (0: none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query row-processing budget across all kernels and view materializations (0: unlimited)")
+	maxCandidates := flag.Int64("max-candidates", 0, "per-query rewrite-search candidate budget; an exhausted search falls back to direct evaluation (0: unlimited)")
 	demo := flag.Bool("demo", false, "run the built-in Example 1.1 demo")
 	flag.Parse()
 
@@ -70,6 +74,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Budgets apply to the query phase, not to script loading or view
+	// materialization: every facade call below routes through them.
+	s.Opts.Deadline = *timeout
+	s.Opts.MaxRows = *maxRows
+	s.Opts.MaxCandidates = *maxCandidates
 
 	for i, q := range queries {
 		fmt.Printf("-- query %d --\n", i+1)

@@ -2,11 +2,17 @@
 // generates random (schema, contents, views, query) instances, executes
 // the query directly and through every rewriting the rewriter emits —
 // at worker counts 1 and GOMAXPROCS — and reports any multiset
-// inequality as a shrunk, replayable SQL script.
+// inequality as a shrunk, replayable SQL script. By default every trial
+// is additionally re-run with seeded cancellations injected at the
+// engine's row, rewrite-candidate and view-cache sites (-faults=false
+// disables), holding each run to the harness contract: the exact
+// correct bag or a clean typed Canceled error, never a partial result.
 //
 //	go run ./cmd/oraclerunner                          # default seeds, 200 instances each
 //	go run ./cmd/oraclerunner -seeds 1,2,3 -n 1000     # fixed budget per seed
 //	go run ./cmd/oraclerunner -duration 5m             # soak: cycle seeds until the clock runs out
+//	go run ./cmd/oraclerunner -timeout 10m             # hard deadline (also stops on SIGINT/SIGTERM)
+//	go run ./cmd/oraclerunner -faults=false            # skip the cancellation-injection pass
 //	go run ./cmd/oraclerunner -paper                   # paper-faithful rewriter configuration
 //	go run ./cmd/oraclerunner -json ORACLE.json        # machine-readable failure report
 //	go run ./cmd/oraclerunner -replay repro.sql        # re-check one failure script
@@ -15,17 +21,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"aggview/internal/analysis/irlint"
 	"aggview/internal/benchjson"
+	"aggview/internal/budget"
 	"aggview/internal/constraints"
+	"aggview/internal/faultinject"
 	"aggview/internal/obs"
 	"aggview/internal/oracle"
 )
@@ -35,19 +46,39 @@ func main() {
 	n := flag.Int("n", 200, "instances per seed (ignored under -duration)")
 	rows := flag.Int("rows", 0, "max rows per generated table (0: generator default)")
 	duration := flag.Duration("duration", 0, "soak length; cycles seeds until elapsed (0: -n instances per seed)")
+	timeout := flag.Duration("timeout", 0, "hard deadline for the whole soak (0: none)")
 	paper := flag.Bool("paper", false, "check the paper-faithful rewriter configuration")
+	faults := flag.Bool("faults", true, "inject seeded cancellations (row/candidate/cache sites) into every trial")
 	jsonOut := flag.String("json", "", "write a failure report to this file")
 	replay := flag.String("replay", "", "re-check a single repro script instead of soaking")
 	verbose := flag.Bool("v", false, "log per-seed progress")
 	flag.Parse()
 
-	if err := run(*seedsFlag, *n, *rows, *duration, *paper, *jsonOut, *replay, *verbose); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *seedsFlag, *n, *rows, *duration, *paper, *faults, *jsonOut, *replay, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "oraclerunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, jsonOut, replay string, verbose bool) error {
+// faultSpecs draws one seeded cancellation spec per injection site, with
+// the trigger count in [1, 64] — early enough to hit the first batch,
+// late enough to reach deep kernels on small generated instances.
+func faultSpecs(rng *rand.Rand) []faultinject.Spec {
+	specs := make([]faultinject.Spec, 0, len(faultinject.Sites))
+	for _, site := range faultinject.Sites {
+		specs = append(specs, faultinject.Spec{Site: site, K: 1 + rng.Int63n(64)})
+	}
+	return specs
+}
+
+func run(ctx context.Context, seedsFlag string, n, rows int, duration time.Duration, paper, faults bool, jsonOut, replay string, verbose bool) error {
 	opt := oracle.Options{PaperFaithful: paper}
 	if replay != "" {
 		return runReplay(replay, opt)
@@ -76,12 +107,22 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 				c := oracle.Generate(rng, gen)
 				trialOpt := opt
 				trialOpt.Metrics = obs.NewMetrics()
-				out, err := oracle.Check(c, trialOpt)
+				if faults {
+					trialOpt.Faults = faultSpecs(rng)
+				}
+				out, err := oracle.CheckContext(ctx, c, trialOpt)
 				if err != nil {
+					if budget.IsCanceled(err) {
+						// SIGINT/SIGTERM or -timeout: stop soaking, report
+						// what was covered so far.
+						fmt.Fprintln(os.Stderr, "oraclerunner: soak interrupted:", err)
+						return finish(rep, jsonOut)
+					}
 					return fmt.Errorf("seed %d trial %d: case rejected: %w\nscript:\n%s", seed, trial, err, c.Script())
 				}
 				rep.Instances++
 				rep.Rewritings += out.Rewritings
+				rep.FaultRuns += out.FaultRuns
 				if out.OK() {
 					continue
 				}
@@ -91,7 +132,12 @@ func run(seedsFlag string, n, rows int, duration time.Duration, paper bool, json
 				// state the violation was observed under.
 				atFailure := trialOpt.Metrics.Snapshot()
 				closure := constraints.CloseCacheSnapshot()
-				min := oracle.Shrink(c, opt)
+				// Shrink under the trial's fault specs (metrics detached) so
+				// an injection-contract violation stays reproducible while
+				// the case shrinks.
+				shrinkOpt := trialOpt
+				shrinkOpt.Metrics = nil
+				min := oracle.Shrink(c, shrinkOpt)
 				v := out.Violations[0]
 				f := failure(seed, trial, &v, min)
 				f.Metrics = &atFailure
@@ -142,8 +188,8 @@ func finish(rep *benchjson.OracleReport, jsonOut string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote oracle report to %s\n", jsonOut)
 	}
-	fmt.Printf("oracle: %d instances, %d rewritings, %d violations\n",
-		rep.Instances, rep.Rewritings, len(rep.Failures))
+	fmt.Printf("oracle: %d instances, %d rewritings, %d fault-injected runs, %d violations\n",
+		rep.Instances, rep.Rewritings, rep.FaultRuns, len(rep.Failures))
 	if len(rep.Failures) > 0 {
 		return fmt.Errorf("%d equivalence violations", len(rep.Failures))
 	}

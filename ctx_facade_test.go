@@ -1,0 +1,180 @@
+package aggview
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aggview/internal/budget"
+	"aggview/internal/engine"
+	"aggview/internal/obs"
+)
+
+func TestQueryContextCanceled(t *testing.T) {
+	s := telcoSystem(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.QueryContext(ctx, facadeQ)
+	if res != nil {
+		t.Fatal("canceled query returned a partial result")
+	}
+	if !budget.IsCanceled(err) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want typed Canceled, got %v", err)
+	}
+	if _, err := s.MaterializeContext(ctx, "V1"); !budget.IsCanceled(err) {
+		t.Fatalf("MaterializeContext: want Canceled, got %v", err)
+	}
+	if _, err := s.RewritingsContext(ctx, facadeQ); !budget.IsCanceled(err) {
+		t.Fatalf("RewritingsContext: want Canceled, got %v", err)
+	}
+	if _, _, err := s.QueryBestContext(ctx, facadeQ); !budget.IsCanceled(err) {
+		t.Fatalf("QueryBestContext: want Canceled, got %v", err)
+	}
+}
+
+// TestOptsDeadlineApplies pins that Opts.Deadline reaches plain,
+// context-free calls: every operation routes through opCtx.
+func TestOptsDeadlineApplies(t *testing.T) {
+	s := telcoSystem(t, 2000)
+	s.Opts.Deadline = time.Nanosecond
+	_, err := s.Query(facadeQ)
+	if !budget.IsCanceled(err) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want Canceled unwrapping to DeadlineExceeded, got %v", err)
+	}
+	s.Opts.Deadline = time.Minute
+	if _, err := s.Query(facadeQ); err != nil {
+		t.Fatalf("generous deadline tripped: %v", err)
+	}
+}
+
+// TestOptsRowBudget pins that Opts.MaxRows bounds execution through the
+// plain facade, with a typed Exceeded on trip and the exact unbudgeted
+// bag when the budget is generous.
+func TestOptsRowBudget(t *testing.T) {
+	s := telcoSystem(t, 2000)
+	want, err := s.Query(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Opts.MaxRows = 10
+	res, err := s.Query(facadeQ)
+	if res != nil {
+		t.Fatal("budget-tripped query returned a partial result")
+	}
+	var e *budget.Exceeded
+	if !errors.As(err, &e) || e.Resource != "rows" {
+		t.Fatalf("want rows Exceeded, got %v", err)
+	}
+
+	s.Opts.MaxRows = 1 << 30
+	got, err := s.Query(facadeQ)
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	if !engine.MultisetEqual(got, want) {
+		t.Fatal("budgeted result differs from unbudgeted result")
+	}
+}
+
+// TestPlanBudgetFallback pins the facade's graceful degradation: a
+// rewrite search cut by its candidate budget does not fail Plan — the
+// original query wins, and the degradation is tagged in the tracer and
+// metrics so the provenance of the direct answer is visible.
+func TestPlanBudgetFallback(t *testing.T) {
+	s := telcoSystem(t, 2000)
+	// A second view gives the search more candidates than the one-candidate
+	// budget below, so the cut is guaranteed to fire.
+	s.MustDefineView("V2", `SELECT Plan_Id, Year, SUM(Charge) FROM Calls GROUP BY Plan_Id, Year`)
+	for _, v := range []string{"V1", "V2"} {
+		if _, err := s.Materialize(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unbudgeted, the view-based rewriting wins.
+	r, err := s.Plan(facadeQ)
+	if err != nil || r == nil {
+		t.Fatalf("fixture must plan a rewriting, got r=%v err=%v", r, err)
+	}
+	direct, err := s.Query(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Tracer = obs.NewTracer()
+	s.Metrics = obs.NewMetrics()
+	s.Opts.MaxCandidates = 1
+	r, err = s.Plan(facadeQ)
+	if err != nil {
+		t.Fatalf("budget-cut Plan must not fail: %v", err)
+	}
+	if r != nil {
+		t.Fatalf("budget-cut Plan returned a rewriting: %v", r.SQL())
+	}
+	tr := s.Tracer.Snapshot()
+	if len(tr.Fallbacks) == 0 {
+		t.Fatal("fallback not recorded in trace")
+	}
+	if tr.Fallbacks[0].Op != "Plan" || tr.Fallbacks[0].Reason == "" {
+		t.Fatalf("fallback lacks provenance: %+v", tr.Fallbacks[0])
+	}
+	if s.Metrics.Snapshot().Volatile["facade.fallback.budget"] == 0 {
+		t.Fatal("fallback counter not incremented")
+	}
+
+	// QueryBest rides the same fallback: direct evaluation, nil rewriting,
+	// correct bag.
+	res, used, err := s.QueryBest(facadeQ)
+	if err != nil {
+		t.Fatalf("QueryBest under budget fallback failed: %v", err)
+	}
+	if used != nil {
+		t.Fatalf("QueryBest reported a rewriting after a cut search: %v", used.SQL())
+	}
+	if !engine.MultisetEqual(res, direct) {
+		t.Fatal("fallback result differs from direct evaluation")
+	}
+}
+
+// TestQueryBestContextSharedPool pins that the search and the execution
+// draw from one meter: a caller-supplied pool that survives the search
+// is drained further by execution.
+func TestQueryBestContextSharedPool(t *testing.T) {
+	s := telcoSystem(t, 2000)
+	if _, err := s.Materialize("V1"); err != nil {
+		t.Fatal(err)
+	}
+	want, wantUsed, err := s.QueryBest(facadeQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := budget.NewMeter(budget.Limits{MaxRows: 1 << 30, MaxCandidates: 1 << 20})
+	ctx := budget.WithMeter(context.Background(), m)
+	got, used, err := s.QueryBestContext(ctx, facadeQ)
+	if err != nil {
+		t.Fatalf("generous shared pool tripped: %v", err)
+	}
+	if (used == nil) != (wantUsed == nil) {
+		t.Fatalf("budgeted plan choice differs: %v vs %v", used, wantUsed)
+	}
+	if !engine.MultisetEqual(got, want) {
+		t.Fatal("budgeted QueryBest differs from unbudgeted")
+	}
+	if m.Candidates() == 0 {
+		t.Fatal("search charged no candidates against the shared pool")
+	}
+	if m.Rows() == 0 {
+		t.Fatal("execution charged no rows against the shared pool")
+	}
+
+	// Execution-stage row exhaustion is terminal: no cheaper strategy
+	// remains, so the typed error surfaces.
+	m = budget.NewMeter(budget.Limits{MaxRows: 5, MaxCandidates: 1 << 20})
+	_, _, err = s.QueryBestContext(budget.WithMeter(context.Background(), m), facadeQ)
+	if !budget.IsExceeded(err) {
+		t.Fatalf("want rows Exceeded from execution, got %v", err)
+	}
+}

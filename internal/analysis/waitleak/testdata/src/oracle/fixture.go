@@ -1,0 +1,26 @@
+// Package oracle is the waitleak fixture for the cancellation-harness
+// scope: the fault-injection pass must never leave a goroutine behind
+// after an injected abort, so unjoined launches are flagged here too.
+package oracle
+
+import "sync"
+
+// FireAndForget launches a checker goroutine nobody joins: after an
+// injected cancellation the run would outlive its Check call.
+func FireAndForget(check func()) {
+	go check() // want `no join in the function`
+}
+
+// DrainedPass fans checks out and drains them before returning — the
+// required shape for every injection pass.
+func DrainedPass(n int, check func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			check(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -4,14 +4,19 @@
 // The parallel kernels (DESIGN.md section 6) promise that every worker
 // they fan out is joined before the kernel returns — results are
 // committed in deterministic order and no goroutine outlives its call.
-// A `go` statement in internal/engine, internal/core or internal/obs
-// whose enclosing function contains no join — no .Wait() call
+// A `go` statement in internal/engine, internal/core, internal/obs,
+// internal/oracle, internal/faultinject or the aggview facade whose
+// enclosing function contains no join — no .Wait() call
 // (sync.WaitGroup, errgroup), no channel receive, no range-over-channel,
 // no select — is either a leak or a kernel whose completion nobody
 // observes; both break the determinism and race guarantees the test
 // suite enforces. internal/obs is in scope because its samplers run
 // monitor goroutines alongside the kernels they observe; an unjoined
 // monitor outlives the pool it samples and races its own Snapshot.
+// oracle, faultinject and the facade are in scope because the
+// cancellation harness promises zero leaked goroutines after an
+// injected abort — a fire-and-forget goroutine anywhere on those paths
+// would invalidate the leak checks the ctx tests run.
 //
 // Functions that intentionally hand ownership elsewhere (e.g. a
 // producer whose consumer joins) document it with //aggvet:waitleak.
@@ -26,15 +31,19 @@ import (
 
 // kernelPkgs names the packages whose goroutines must join locally.
 var kernelPkgs = map[string]bool{
-	"engine": true,
-	"core":   true,
-	"obs":    true,
+	"engine":      true,
+	"core":        true,
+	"obs":         true,
+	"oracle":      true,
+	"faultinject": true,
+	"aggview":     true,
 }
 
 // Analyzer flags unjoined go statements in the kernel packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "waitleak",
-	Doc: "flags `go` statements in internal/engine, internal/core and internal/obs whose enclosing function " +
+	Doc: "flags `go` statements in the kernel and cancellation-harness packages (engine, core, obs, " +
+		"oracle, faultinject, aggview) whose enclosing function " +
 		"has no join construct (.Wait() call, channel receive, range over channel, select); " +
 		"kernel goroutines must be joined before the kernel returns",
 	Run: run,

@@ -14,3 +14,7 @@ func TestWaitLeak(t *testing.T) {
 func TestWaitLeakObsMonitorPattern(t *testing.T) {
 	analysistest.Run(t, waitleak.Analyzer, "testdata/src/obs")
 }
+
+func TestWaitLeakHarnessScope(t *testing.T) {
+	analysistest.Run(t, waitleak.Analyzer, "testdata/src/oracle")
+}

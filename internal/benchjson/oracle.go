@@ -45,6 +45,7 @@ type OracleReport struct {
 	Seeds         []int64         `json:"seeds"`
 	Instances     int             `json:"instances"`
 	Rewritings    int             `json:"rewritings"`
+	FaultRuns     int             `json:"fault_runs,omitempty"`
 	PaperFaithful bool            `json:"paper_faithful"`
 	Failures      []OracleFailure `json:"failures"`
 	// Closure carries the closure-cache counters accumulated over the

@@ -43,6 +43,7 @@ type TraceQuery struct {
 	Candidates    []obs.Candidate   `json:"candidates"`
 	CostCalls     int64             `json:"cost_calls,omitempty"`
 	CostAnomalies []obs.CostAnomaly `json:"cost_anomalies,omitempty"`
+	Fallbacks     []obs.Fallback    `json:"fallbacks,omitempty"`
 }
 
 // TraceReport is the machine-readable emission of `aggview explain

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"aggview/internal/ir"
+)
+
+// TestCanonicalKeyCollisions feeds canonicalKey adversarial near-miss
+// pairs — queries crafted to look alike under naive normalization — and
+// asserts distinct candidates never merge. A collision here would make
+// the search's dedup drop a genuinely different rewriting.
+func TestCanonicalKeyCollisions(t *testing.T) {
+	src := tables()
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{
+			"swapped select columns",
+			"SELECT A, B FROM R1",
+			"SELECT B, A FROM R1",
+		},
+		{
+			"swapped aggregate arguments",
+			"SELECT A, SUM(B), SUM(C) FROM R1 GROUP BY A",
+			"SELECT A, SUM(C), SUM(B) FROM R1 GROUP BY A",
+		},
+		{
+			"renamed relation, same attribute shape",
+			"SELECT A, B FROM R1 WHERE A = 5",
+			"SELECT E, F FROM R2 WHERE E = 5",
+		},
+		{
+			"reordered non-equivalent conjuncts",
+			"SELECT A FROM R1 WHERE A < B AND C = 5",
+			"SELECT A FROM R1 WHERE A < C AND B = 5",
+		},
+		{
+			"flipped inequality is not symmetric across columns",
+			"SELECT A FROM R1 WHERE A < B",
+			"SELECT A FROM R1 WHERE B < A",
+		},
+		{
+			"constant moved between conjuncts",
+			"SELECT A FROM R1 WHERE B = 5 AND C = 7",
+			"SELECT A FROM R1 WHERE B = 7 AND C = 5",
+		},
+		{
+			"group-by column differs",
+			"SELECT A, COUNT(B) FROM R1 GROUP BY A",
+			"SELECT D, COUNT(B) FROM R1 GROUP BY D",
+		},
+		{
+			"having bound differs",
+			"SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) > 10",
+			"SELECT A, SUM(B) FROM R1 GROUP BY A HAVING SUM(B) > 11",
+		},
+		{
+			"distinct flag differs",
+			"SELECT A FROM R1",
+			"SELECT DISTINCT A FROM R1",
+		},
+		{
+			"self-join predicates target different occurrences",
+			"SELECT r.A FROM R1 r, R1 s WHERE r.B = 5 AND s.C = 7",
+			"SELECT r.A FROM R1 r, R1 s WHERE r.C = 7 AND s.B = 5",
+		},
+		{
+			"join predicate connects different column pairs",
+			"SELECT A, E FROM R1, R2 WHERE A = E AND B = 3",
+			"SELECT A, E FROM R1, R2 WHERE B = E AND A = 3",
+		},
+	}
+	for _, tc := range cases {
+		qa := ir.MustBuild(tc.a, src)
+		qb := ir.MustBuild(tc.b, src)
+		ka, kb := canonicalKey(qa), canonicalKey(qb)
+		if ka == kb {
+			t.Errorf("%s: distinct queries share a canonical key\n a: %s\n b: %s\n key: %s", tc.name, tc.a, tc.b, ka)
+		}
+	}
+}
+
+// TestCanonicalKeyMergesEquivalents is the positive control: the
+// reorderings canonicalKey exists to identify — FROM-clause order, WHERE
+// conjunct order, flipped comparisons, equality chains with different
+// spanning trees — must map to one key, or the search would enumerate
+// duplicate rewritings.
+func TestCanonicalKeyMergesEquivalents(t *testing.T) {
+	src := tables()
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{
+			"FROM order",
+			"SELECT A, E FROM R1, R2 WHERE A = E",
+			"SELECT A, E FROM R2, R1 WHERE A = E",
+		},
+		{
+			"WHERE conjunct order",
+			"SELECT A FROM R1 WHERE B = 5 AND C = 7",
+			"SELECT A FROM R1 WHERE C = 7 AND B = 5",
+		},
+		{
+			"flipped comparison",
+			"SELECT A FROM R1 WHERE A < B",
+			"SELECT A FROM R1 WHERE B > A",
+		},
+		{
+			"equality chain spanning trees",
+			"SELECT A FROM R1 WHERE A = B AND B = C",
+			"SELECT A FROM R1 WHERE A = C AND A = B",
+		},
+	}
+	for _, tc := range cases {
+		qa := ir.MustBuild(tc.a, src)
+		qb := ir.MustBuild(tc.b, src)
+		if canonicalKey(qa) != canonicalKey(qb) {
+			t.Errorf("%s: equivalent queries got different keys\n a: %s\n b: %s", tc.name, tc.a, tc.b)
+		}
+	}
+}

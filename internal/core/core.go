@@ -1,15 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aggview/internal/aggreason"
+	"aggview/internal/budget"
 	"aggview/internal/constraints"
+	"aggview/internal/faultinject"
 	"aggview/internal/ir"
 	"aggview/internal/keys"
 	"aggview/internal/obs"
@@ -39,6 +43,21 @@ type Options struct {
 	// concurrently: 0 means GOMAXPROCS, 1 forces the serial search. The
 	// enumeration order and results are identical at every setting.
 	Workers int
+	// MaxCandidates caps the number of (view, mapping) candidates one
+	// search analyzes; past the cap the search aborts with a typed
+	// *budget.Exceeded. 0 means unlimited. A budget.Meter already on the
+	// context takes precedence, so a facade-level pool can span search
+	// and execution.
+	MaxCandidates int64
+	// MaxRows caps the number of rows the execution engine processes per
+	// operation. The rewriter itself never touches rows; the limit rides
+	// here so one Options value can configure a whole aggview.System
+	// (the facade attaches it to each operation's budget meter).
+	MaxRows int64
+	// Deadline bounds each operation's wall-clock time. Enforced by the
+	// aggview facade and the CLIs (context.WithTimeout per operation);
+	// the core search honors whatever deadline its context carries.
+	Deadline time.Duration
 }
 
 // Rewriter rewrites queries to use materialized views.
@@ -98,14 +117,65 @@ func (rw *Rewriter) meta() keys.MetaSource {
 	return keys.ViewMeta{Base: rw.Meta, Views: rw.Views}
 }
 
+// searchTask is the per-search state threaded through candidate
+// analysis: the caller's context, the candidate budget drawn from it
+// (nil: unlimited) and the armed fault injector (nil outside the
+// harness). Resolved once per public entry so the per-candidate poll
+// never touches context.Value.
+type searchTask struct {
+	ctx   context.Context
+	meter *budget.Meter
+	inj   *faultinject.Injector
+}
+
+// newSearchTask resolves the search's budget state: a meter on the
+// context wins (shared pool); otherwise Opts.MaxCandidates/MaxRows spin
+// up a per-search meter.
+func (rw *Rewriter) newSearchTask(ctx context.Context) *searchTask {
+	st := &searchTask{ctx: ctx, meter: budget.MeterFrom(ctx), inj: faultinject.From(ctx)}
+	if st.meter == nil && (rw.Opts.MaxCandidates > 0 || rw.Opts.MaxRows > 0) {
+		st.meter = budget.NewMeter(budget.Limits{MaxRows: rw.Opts.MaxRows, MaxCandidates: rw.Opts.MaxCandidates})
+	}
+	return st
+}
+
+// candidate charges one analyzed (view, mapping) candidate: it feeds
+// the fault injector, charges the candidate budget and polls the
+// context. The total charged per search is fixed by the enumeration,
+// so whether a search trips its budget is independent of the Workers
+// knob (the error value is identical either way).
+func (st *searchTask) candidate() error {
+	st.inj.Observe(faultinject.SiteCandidate, 1)
+	if err := st.meter.AddCandidates("rewrite.candidate", 1); err != nil {
+		return err
+	}
+	return budget.Check(st.ctx, "rewrite.candidate")
+}
+
 // RewriteOnce returns every single-step rewriting of q that uses view v:
 // one per column mapping satisfying the usability conditions. With a
 // Tracer attached, every analyzed candidate is recorded (wave 0, since
-// single-step rewrites are outside the BFS).
+// single-step rewrites are outside the BFS). RewriteOnce runs unbounded
+// — no context, no budget — and cannot fail; use RewriteOnceContext for
+// cancellation and budgets.
 func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
-	out, events := rw.rewriteOnce(q, v, rw.Tracer.Enabled())
+	out, events, _ := rw.rewriteOnce(&searchTask{ctx: context.Background()}, q, v, rw.Tracer.Enabled())
 	rw.Tracer.Candidates(events...)
 	return out
+}
+
+// RewriteOnceContext is RewriteOnce under a context: cancellation,
+// deadline expiry and an exhausted candidate budget (a budget.Meter on
+// the context, or Opts.MaxCandidates) abort the analysis with a typed
+// *budget.Canceled or *budget.Exceeded and no partial result. The
+// context is polled once per analyzed candidate.
+func (rw *Rewriter) RewriteOnceContext(ctx context.Context, q *ir.Query, v *ir.ViewDef) ([]*Rewriting, error) {
+	out, events, err := rw.rewriteOnce(rw.newSearchTask(ctx), q, v, rw.Tracer.Enabled())
+	if err != nil {
+		return nil, err
+	}
+	rw.Tracer.Candidates(events...)
+	return out, nil
 }
 
 // rewriteOnce is the traced body of RewriteOnce. With trace false it
@@ -116,7 +186,7 @@ func (rw *Rewriter) RewriteOnce(q *ir.Query, v *ir.ViewDef) []*Rewriting {
 // semantics (Section 4.5). Accept events correspond 1:1, in order, to
 // the returned rewritings — Rewritings relies on that to retag events
 // that its global dedup or limit later discards.
-func (rw *Rewriter) rewriteOnce(q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewriting, []obs.Candidate) {
+func (rw *Rewriter) rewriteOnce(st *searchTask, q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewriting, []obs.Candidate, error) {
 	qn, vn := q, v.Def
 	if !rw.Opts.NoNormalize {
 		qn = aggreason.Normalize(q)
@@ -147,21 +217,25 @@ func (rw *Rewriter) rewriteOnce(q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewr
 		events = append(events, ev)
 	}
 	seen := map[string]bool{}
-	try := func(m mapping, setSem bool) {
+	try := func(m mapping, setSem bool) error {
+		if err := st.candidate(); err != nil {
+			return err
+		}
 		a := newAnalyzer(rw, qn, vn, v, m, setSem)
 		r, err := a.analyze()
 		if err != nil {
 			record(m, setSem, obs.VerdictReject, conditionOf(err.Error()), err.Error(), nil)
-			return
+			return nil
 		}
 		key := canonicalKey(r.Query)
 		if seen[key] {
 			record(m, setSem, obs.VerdictDedup, "", "duplicate of an earlier mapping's rewriting (canonical key match)", r)
-			return
+			return nil
 		}
 		seen[key] = true
 		out = append(out, r)
 		record(m, setSem, obs.VerdictAccept, "", "", r)
+		return nil
 	}
 
 	// Section 4.5: a view with grouping or aggregation loses tuple
@@ -171,7 +245,9 @@ func (rw *Rewriter) rewriteOnce(q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewr
 
 	if multisetUsable {
 		for _, m := range enumerateMappings(vn, qn, false) {
-			try(m, false)
+			if err := try(m, false); err != nil {
+				return nil, nil, err
+			}
 		}
 	} else if trace {
 		reason := "aggregation view loses tuple multiplicities; a non-aggregate query cannot use it under multiset semantics (Section 4.5)"
@@ -194,11 +270,13 @@ func (rw *Rewriter) rewriteOnce(q *ir.Query, v *ir.ViewDef, trace bool) ([]*Rewr
 					record(m, true, obs.VerdictDedup, "", "1-1 mapping already analyzed under multiset semantics", nil)
 					continue
 				}
-				try(m, true)
+				if err := try(m, true); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 	}
-	return out, events
+	return out, events, nil
 }
 
 // conditionOf extracts the usability-condition label (C1, C2', C3,
@@ -261,7 +339,26 @@ func (rw *Rewriter) workers() int {
 // matches the serial queue walk exactly, so the result list is
 // byte-identical to the single-threaded enumeration at any worker count,
 // and MaxRewritings cuts the same prefix.
+//
+// Rewritings runs unbounded — no context, no budget — and cannot fail;
+// use RewritingsContext for cancellation and budgets.
 func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
+	out, _ := rw.rewritings(&searchTask{ctx: context.Background()}, q)
+	return out
+}
+
+// RewritingsContext is Rewritings under a context: cancellation,
+// deadline expiry and an exhausted candidate budget (a budget.Meter on
+// the context, or Opts.MaxCandidates) abort the search with a typed
+// *budget.Canceled or *budget.Exceeded and no partial result. The
+// context is polled once per analyzed candidate, the in-flight wave
+// drains before the error is returned, and the surviving error value is
+// independent of the worker count.
+func (rw *Rewriter) RewritingsContext(ctx context.Context, q *ir.Query) ([]*Rewriting, error) {
+	return rw.rewritings(rw.newSearchTask(ctx), q)
+}
+
+func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error) {
 	limit := rw.Opts.MaxRewritings
 	if limit <= 0 {
 		limit = 128
@@ -287,6 +384,7 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 		rw.Tracer.Wave(len(jobs), len(frontier))
 		steps := make([][]*Rewriting, len(jobs))
 		events := make([][]obs.Candidate, len(jobs))
+		errs := make([]error, len(jobs))
 		if w := rw.workers(); w > 1 && len(jobs) > 1 {
 			if w > len(jobs) {
 				w = len(jobs)
@@ -302,14 +400,25 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 						if i >= len(jobs) {
 							return
 						}
-						steps[i], events[i] = rw.rewriteOnce(jobs[i].cur.Query, jobs[i].v, traceOn)
+						steps[i], events[i], errs[i] = rw.rewriteOnce(st, jobs[i].cur.Query, jobs[i].v, traceOn)
 					}
 				}()
 			}
 			wg.Wait()
 		} else {
 			for i, j := range jobs {
-				steps[i], events[i] = rw.rewriteOnce(j.cur.Query, j.v, traceOn)
+				steps[i], events[i], errs[i] = rw.rewriteOnce(st, j.cur.Query, j.v, traceOn)
+				if errs[i] != nil {
+					break
+				}
+			}
+		}
+		// An aborted wave returns no partial results: every candidate
+		// charge error is transient with a schedule-independent value, so
+		// the surfaced error does not depend on which job observed it.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
 		if traceOn {
@@ -367,14 +476,14 @@ func (rw *Rewriter) Rewritings(q *ir.Query) []*Rewriting {
 						annotateUncommitted(events, i, acceptPos, si)
 						flush()
 					}
-					return results
+					return results, nil
 				}
 			}
 		}
 		flush()
 		frontier = nextFrontier
 	}
-	return results
+	return results, nil
 }
 
 // annotateUncommitted marks accept events the MaxRewritings cut left
@@ -399,14 +508,32 @@ func annotateUncommitted(events [][]obs.Candidate, i int, acceptPos []int, si in
 // Best returns the cheapest rewriting according to the cost function
 // (smaller is better), or nil when no rewriting exists. The cost
 // function receives each candidate's query; a nil cost function ranks by
-// the number of base-table occurrences remaining.
+// the number of base-table occurrences remaining. Best runs unbounded —
+// no context, no budget — and cannot fail; use BestContext for
+// cancellation and budgets.
 func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
-	rws := rw.Rewritings(q)
+	r, _ := rw.best(&searchTask{ctx: context.Background()}, q, cost)
+	return r
+}
+
+// BestContext is Best under a context: the enumeration honors
+// cancellation, deadlines and candidate budgets as RewritingsContext
+// does, and the context is additionally polled between cost-function
+// calls during selection. A typed abort returns a nil rewriting.
+func (rw *Rewriter) BestContext(ctx context.Context, q *ir.Query, cost func(*ir.Query) float64) (*Rewriting, error) {
+	return rw.best(rw.newSearchTask(ctx), q, cost)
+}
+
+func (rw *Rewriter) best(st *searchTask, q *ir.Query, cost func(*ir.Query) float64) (*Rewriting, error) {
+	rws, err := rw.rewritings(st, q)
+	if err != nil {
+		return nil, err
+	}
 	if len(rws) == 0 {
 		// No candidates: don't touch the cost function at all, so a
 		// caller-supplied cost that assumes view-shaped queries is never
 		// invoked on nothing.
-		return nil
+		return nil, nil
 	}
 	if cost == nil {
 		cost = func(q *ir.Query) float64 {
@@ -435,6 +562,9 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 	bestCost := 0.0
 	bestKey := ""
 	for _, r := range rws {
+		if err := budget.Check(st.ctx, "best.cost"); err != nil {
+			return nil, err
+		}
 		c := cost(r.Query)
 		switch {
 		case best == nil || c < bestCost:
@@ -454,7 +584,7 @@ func (rw *Rewriter) Best(q *ir.Query, cost func(*ir.Query) float64) *Rewriting {
 			}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // canonicalKey renders a query in a canonical form that is invariant

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"aggview/internal/ir"
+	"aggview/internal/obs"
+)
+
+func purityFixture(t *testing.T) (*Rewriter, *ir.Query) {
+	t.Helper()
+	rw := newRewriter(t, map[string]string{
+		"V": "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+	}, Options{})
+	q := ir.MustBuild("SELECT A, SUM(C) FROM R1 GROUP BY A", ir.MultiSource{tables(), rw.Views})
+	return rw, q
+}
+
+// TestBestCostPurityAnomalyFires pins the anomaly detector's positive
+// direction: a cost callback reading ambient state (here: a call
+// counter) returns different costs for the same canonical query across
+// two Best runs sharing one tracer, and the tracer must flag it.
+func TestBestCostPurityAnomalyFires(t *testing.T) {
+	rw, q := purityFixture(t)
+	rw.Tracer = obs.NewTracer()
+
+	calls := 0.0
+	impure := func(*ir.Query) float64 {
+		calls++ // ambient state: every invocation costs differently
+		return calls
+	}
+	if rw.Best(q, impure) == nil {
+		t.Fatal("fixture produces no rewriting")
+	}
+	if rw.Best(q, impure) == nil {
+		t.Fatal("second Best returned nil")
+	}
+	tr := rw.Tracer.Snapshot()
+	if tr.CostCalls == 0 {
+		t.Fatal("tracer observed no cost calls")
+	}
+	if len(tr.CostAnomalies) == 0 {
+		t.Fatal("impure cost callback produced no purity anomaly")
+	}
+	a := tr.CostAnomalies[0]
+	if a.First == a.Second {
+		t.Fatalf("anomaly records equal costs: %+v", a)
+	}
+}
+
+// TestBestCostPurityPureCallbackClean pins the negative direction: a
+// pure function of the query — even one returning tie costs that
+// exercise the exact-equality tie-break — never trips the detector, no
+// matter how often Best runs.
+func TestBestCostPurityPureCallbackClean(t *testing.T) {
+	rw, q := purityFixture(t)
+	rw.Tracer = obs.NewTracer()
+
+	pure := func(cq *ir.Query) float64 { return float64(len(cq.Tables)) }
+	for i := 0; i < 3; i++ {
+		if rw.Best(q, pure) == nil {
+			t.Fatal("fixture produces no rewriting")
+		}
+	}
+	tr := rw.Tracer.Snapshot()
+	if tr.CostCalls == 0 {
+		t.Fatal("tracer observed no cost calls")
+	}
+	if len(tr.CostAnomalies) != 0 {
+		t.Fatalf("pure cost callback flagged as impure: %v", tr.CostAnomalies)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"aggview/internal/budget"
+	"aggview/internal/faultinject"
+	"aggview/internal/ir"
+)
+
+// searchFixture builds a rewriter whose search analyzes several
+// candidates across multiple views, so budgets and injection have
+// something to interrupt.
+func searchFixture(t *testing.T, opts Options) (*Rewriter, *ir.Query) {
+	t.Helper()
+	rw := newRewriter(t, map[string]string{
+		"V1": "SELECT A, SUM(C), COUNT(C) FROM R1 GROUP BY A",
+		"V2": "SELECT A, B, C FROM R1 WHERE D = 5",
+		"V3": "SELECT E, F FROM R2",
+	}, opts)
+	q := ir.MustBuild("SELECT A, SUM(C) FROM R1 WHERE D = 5 GROUP BY A", ir.MultiSource{tables(), rw.Views})
+	return rw, q
+}
+
+func renderRws(rws []*Rewriting) string {
+	parts := make([]string, len(rws))
+	for i, r := range rws {
+		parts[i] = strings.Join(r.Used, "+") + ": " + r.SQL()
+	}
+	return strings.Join(parts, "\n")
+}
+
+func TestRewritingsContextPreCanceled(t *testing.T) {
+	rw, q := searchFixture(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rws, err := rw.RewritingsContext(ctx, q)
+	if rws != nil {
+		t.Fatal("canceled search returned partial results")
+	}
+	if !budget.IsCanceled(err) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want typed Canceled, got %v", err)
+	}
+	if _, err := rw.RewriteOnceContext(ctx, q, mustView(t, rw, "V1")); !budget.IsCanceled(err) {
+		t.Fatalf("RewriteOnceContext: want Canceled, got %v", err)
+	}
+}
+
+func TestRewritingsContextCandidateBudget(t *testing.T) {
+	rw, q := searchFixture(t, Options{})
+	baseline := rw.Rewritings(q)
+	if len(baseline) == 0 {
+		t.Fatal("fixture produces no rewritings")
+	}
+
+	// A one-candidate budget trips with a typed Exceeded and no partial
+	// result list.
+	m := budget.NewMeter(budget.Limits{MaxCandidates: 1})
+	rws, err := rw.RewritingsContext(budget.WithMeter(context.Background(), m), q)
+	if rws != nil {
+		t.Fatal("budget-tripped search returned partial results")
+	}
+	var e *budget.Exceeded
+	if !errors.As(err, &e) || e.Resource != "candidates" || e.Limit != 1 {
+		t.Fatalf("want candidates Exceeded with limit 1, got %v", err)
+	}
+
+	// A generous budget reproduces the unbudgeted enumeration exactly.
+	m = budget.NewMeter(budget.Limits{MaxCandidates: 1 << 20})
+	rws, err = rw.RewritingsContext(budget.WithMeter(context.Background(), m), q)
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	if renderRws(rws) != renderRws(baseline) {
+		t.Fatal("budgeted enumeration differs from unbudgeted")
+	}
+	if m.Candidates() == 0 {
+		t.Fatal("meter charged no candidates")
+	}
+}
+
+// TestRewritingsContextBudgetWorkerIndependent pins that the outcome of
+// a candidate budget — trip or success, and the error value on trip —
+// is the same at every Workers setting.
+func TestRewritingsContextBudgetWorkerIndependent(t *testing.T) {
+	for _, limit := range []int64{1, 3, 1 << 20} {
+		var refErr error
+		var refOut string
+		for i, workers := range []int{1, 0, 4} {
+			rw, q := searchFixture(t, Options{Workers: workers})
+			m := budget.NewMeter(budget.Limits{MaxCandidates: limit})
+			rws, err := rw.RewritingsContext(budget.WithMeter(context.Background(), m), q)
+			if i == 0 {
+				refErr, refOut = err, renderRws(rws)
+				continue
+			}
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("limit %d: workers=%d err=%v, workers=1 err=%v", limit, workers, err, refErr)
+			}
+			if err != nil {
+				if err.Error() != refErr.Error() {
+					t.Fatalf("limit %d: error differs across workers: %q vs %q", limit, err, refErr)
+				}
+				continue
+			}
+			if renderRws(rws) != refOut {
+				t.Fatalf("limit %d: enumeration differs across workers", limit)
+			}
+		}
+	}
+}
+
+// TestRewritingsContextFaultInjection cancels the search at the k-th
+// analyzed candidate and asserts the contract: either the full correct
+// enumeration or a typed Canceled error — never a partial result list.
+func TestRewritingsContextFaultInjection(t *testing.T) {
+	rwRef, qRef := searchFixture(t, Options{})
+	baseline := renderRws(rwRef.Rewritings(qRef))
+	for _, k := range []int64{1, 2, 3, 5, 8, 100} {
+		for _, workers := range []int{1, 0} {
+			rw, q := searchFixture(t, Options{Workers: workers})
+			in := faultinject.New(faultinject.SiteCandidate, k)
+			ctx, cancel := in.Arm(context.Background())
+			rws, err := rw.RewritingsContext(ctx, q)
+			if err != nil {
+				if !budget.IsCanceled(err) {
+					t.Fatalf("k=%d workers=%d: non-typed error %v", k, workers, err)
+				}
+				if rws != nil {
+					t.Fatalf("k=%d workers=%d: error with partial results", k, workers)
+				}
+			} else if renderRws(rws) != baseline {
+				t.Fatalf("k=%d workers=%d: enumeration differs under injection", k, workers)
+			}
+			cancel()
+		}
+	}
+}
+
+func TestBestContextCanceled(t *testing.T) {
+	rw, q := searchFixture(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := rw.BestContext(ctx, q, nil)
+	if r != nil || !budget.IsCanceled(err) {
+		t.Fatalf("want nil rewriting with typed Canceled, got r=%v err=%v", r, err)
+	}
+	// The plain variant still succeeds: Background cannot fail.
+	if rw.Best(q, nil) == nil {
+		t.Fatal("plain Best regressed")
+	}
+}

@@ -159,7 +159,7 @@ func collectAggs(q *ir.Query) ([]*ir.Agg, map[*ir.Agg]int) {
 // Aggregates stream through per-group accumulators instead of
 // materializing each group's row set; grouped inputs are folded by a
 // hash-partitioned worker pool (see groupFold).
-func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation) error {
+func (ev *Evaluator) aggregate(t *task, q *ir.Query, rows [][]value.Value, out *Relation) error {
 	sw := ev.Metrics.Time("engine.agg.ns")
 	defer sw.Stop()
 	ev.Metrics.Counter("engine.agg.rows").Add(int64(len(rows)))
@@ -171,8 +171,20 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 		// means one fold chain, which stays serial by construction.
 		if len(rows) > 0 {
 			g := newGroup(rows[0], aggs, 0)
+			var pending int64
 			for _, row := range rows {
 				if err := g.fold(row); err != nil {
+					return err
+				}
+				if pending++; pending == pollBatchRows {
+					if err := t.charge(ev, "agg.fold", pending); err != nil {
+						return err
+					}
+					pending = 0
+				}
+			}
+			if pending > 0 {
+				if err := t.charge(ev, "agg.fold", pending); err != nil {
 					return err
 				}
 			}
@@ -180,7 +192,7 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 		}
 	} else {
 		var err error
-		groups, err = ev.groupFold(q, rows, aggs)
+		groups, err = ev.groupFold(t, q, rows, aggs)
 		if err != nil {
 			return err
 		}
@@ -231,12 +243,13 @@ func (ev *Evaluator) aggregate(q *ir.Query, rows [][]value.Value, out *Relation)
 // order, so accumulator contents — including float accumulation order —
 // and the first-appearance output order are independent of the worker
 // count.
-func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg) ([]*group, error) {
+func (ev *Evaluator) groupFold(t *task, q *ir.Query, rows [][]value.Value, aggs []*ir.Agg) ([]*group, error) {
 	w := ev.workersFor(len(rows))
 	keys := make([]string, len(rows))
 	shard := make([]uint8, len(rows))
-	ev.runChunks(w, len(rows), func(lo, hi int) {
+	if err := ev.runChunks(w, len(rows), func(lo, hi int) error {
 		var b []byte
+		var pending int64
 		for i := lo; i < hi; i++ {
 			b = b[:0]
 			for _, g := range q.GroupBy {
@@ -246,8 +259,20 @@ func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg
 			k := string(b)
 			keys[i] = k
 			shard[i] = uint8(fnv32(k) % uint32(w))
+			if pending++; pending == pollBatchRows {
+				if err := t.charge(ev, "agg.keys", pending); err != nil {
+					return err
+				}
+				pending = 0
+			}
 		}
-	})
+		if pending > 0 {
+			return t.charge(ev, "agg.keys", pending)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	type shardOut struct {
 		groups []*group
@@ -255,9 +280,13 @@ func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg
 		err    error
 	}
 	outs := make([]shardOut, w)
+	// Each shard charges only the rows it folds (not the full array it
+	// scans for shard membership), so the fold charges sum to len(rows)
+	// at every worker count.
 	runShard := func(s int) {
 		o := &outs[s]
 		index := map[string]*group{}
+		var pending int64
 		for i, row := range rows {
 			if int(shard[i]) != s {
 				continue
@@ -272,13 +301,28 @@ func (ev *Evaluator) groupFold(q *ir.Query, rows [][]value.Value, aggs []*ir.Agg
 				o.errRow, o.err = i, err
 				return
 			}
+			if pending++; pending == pollBatchRows {
+				if err := t.charge(ev, "agg.fold", pending); err != nil {
+					o.errRow, o.err = i, err
+					return
+				}
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			if err := t.charge(ev, "agg.fold", pending); err != nil {
+				o.errRow, o.err = len(rows), err
+			}
 		}
 	}
-	ev.runChunks(w, w, func(lo, hi int) {
+	if err := ev.runChunks(w, w, func(lo, hi int) error {
 		for s := lo; s < hi; s++ {
 			runShard(s)
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// The surviving error is the one with the smallest row index — the
 	// error the serial row-by-row fold would have hit first.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -353,7 +354,7 @@ func refEval(q *ir.Query, db *DB) (*Relation, error) {
 	out := &Relation{Attrs: ir.OutputNames(q)}
 	ev := NewEvaluator(db, nil)
 	if q.IsAggregationQuery() {
-		if err := ev.aggregate(q, kept, out); err != nil {
+		if err := ev.aggregate(newTask(context.Background()), q, kept, out); err != nil {
 			return nil, err
 		}
 	} else {

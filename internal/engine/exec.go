@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 
+	"aggview/internal/budget"
+	"aggview/internal/faultinject"
 	"aggview/internal/ir"
 	"aggview/internal/obs"
 	"aggview/internal/value"
@@ -61,19 +63,39 @@ func NewEvaluator(db *DB, views ViewSource) *Evaluator {
 }
 
 // Exec evaluates the query and returns its result relation. The result's
-// attribute names come from ir.OutputNames. With Metrics attached the
-// whole evaluation runs under a pprof label naming the query's FROM
-// sources, so CPU and goroutine profiles attribute worker time to the
-// query that spawned it (labels are inherited by child goroutines).
+// attribute names come from ir.OutputNames. Exec is ExecContext with a
+// background context: no deadline, no budget, no cancellation.
 func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
+	return ev.ExecContext(context.Background(), q)
+}
+
+// ExecContext evaluates the query under a context. Cancellation and
+// deadline expiry are observed at row-batch granularity inside every
+// kernel (scan, join, filter, aggregation) and inside the view cache;
+// a budget.Meter attached to the context (budget.WithMeter) caps the
+// total rows processed, including rows spent materializing referenced
+// views. On abort the worker pools drain fully and ExecContext returns
+// a typed *budget.Canceled or *budget.Exceeded — never a partial
+// relation. With Metrics attached the whole evaluation runs under a
+// pprof label naming the query's FROM sources, so CPU and goroutine
+// profiles attribute worker time to the query that spawned it (labels
+// are inherited by child goroutines).
+func (ev *Evaluator) ExecContext(ctx context.Context, q *ir.Query) (*Relation, error) {
+	return ev.run(newTask(ctx), q)
+}
+
+// run is the labeled evaluation entry shared by ExecContext and view
+// materialization, so nested executions inherit the caller's task (one
+// context, one budget pool, one injector per operation).
+func (ev *Evaluator) run(t *task, q *ir.Query) (*Relation, error) {
 	if ev.Metrics == nil {
-		return ev.exec(q)
+		return ev.exec(t, q)
 	}
 	var out *Relation
 	var err error
 	sw := ev.Metrics.Time("engine.exec.ns")
-	pprof.Do(context.Background(), pprof.Labels("aggview_query", queryLabel(q)), func(context.Context) {
-		out, err = ev.exec(q)
+	pprof.Do(t.ctx, pprof.Labels("aggview_query", queryLabel(q)), func(context.Context) {
+		out, err = ev.exec(t, q)
 	})
 	sw.Stop()
 	return out, err
@@ -89,19 +111,19 @@ func queryLabel(q *ir.Query) string {
 }
 
 // exec is the unlabeled evaluation body behind Exec.
-func (ev *Evaluator) exec(q *ir.Query) (*Relation, error) {
+func (ev *Evaluator) exec(t *task, q *ir.Query) (*Relation, error) {
 	ev.Metrics.Counter("engine.exec").Inc()
-	rows, err := ev.joinRows(q)
+	rows, err := ev.joinRows(t, q)
 	if err != nil {
 		return nil, err
 	}
 	out := &Relation{Attrs: ir.OutputNames(q)}
 	if q.IsAggregationQuery() {
-		if err := ev.aggregate(q, rows, out); err != nil {
+		if err := ev.aggregate(t, q, rows, out); err != nil {
 			return nil, err
 		}
 	} else {
-		tuples, err := ev.parMapFlat(ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
+		tuples, err := ev.parMapFlat(t, "project", ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
 			row := rows[i]
 			tuple := make([]value.Value, len(q.Select))
 			for k, it := range q.Select {
@@ -130,71 +152,110 @@ func (ev *Evaluator) exec(q *ir.Query) (*Relation, error) {
 // materialized at most once per evaluator: the entry map is guarded by
 // the mutex, and the materialization itself runs under the entry's Once
 // so concurrent resolvers of the same view block instead of recomputing.
-func (ev *Evaluator) resolve(name string) (*Relation, error) {
+//
+// A materialization aborted by cancellation or budget exhaustion is
+// never memoized: the poisoned entry is dropped so a later resolve
+// retries under its own context and budget. The resolver that ran the
+// aborted materialization returns the transient error (its own context
+// or budget is spent); a resolver that merely waited on another task's
+// aborted entry loops and retries.
+func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
 	if r, ok := ev.DB.Get(name); ok {
 		return r, nil
 	}
 	key := strings.ToLower(name)
-	ev.mu.Lock()
-	e, ok := ev.cache[key]
-	if !ok {
-		if ev.Views == nil {
-			ev.mu.Unlock()
-			return nil, fmt.Errorf("engine: no relation or view named %q", name)
-		}
-		v, found := ev.Views.Get(name)
-		if !found {
-			ev.mu.Unlock()
-			return nil, fmt.Errorf("engine: no relation or view named %q", name)
-		}
-		e = &viewEntry{def: v}
-		if ev.cache == nil {
-			ev.cache = map[string]*viewEntry{}
-		}
-		ev.cache[key] = e
+	t.inj.Observe(faultinject.SiteCache, 1)
+	if err := t.poll(ev, "view_cache"); err != nil {
+		return nil, err
 	}
-	ev.mu.Unlock()
-	// Entry creation is guarded by the mutex, so every view misses
-	// exactly once per evaluator no matter how many resolvers race; the
-	// hit/miss split is therefore deterministic for a fixed workload.
-	if ok {
-		ev.Metrics.Counter("engine.view_cache.hit").Inc()
-	} else {
-		ev.Metrics.Counter("engine.view_cache.miss").Inc()
-	}
-	e.once.Do(func() {
-		materialize := func() {
-			r, err := ev.Exec(e.def.Def)
-			if err != nil {
-				e.err = fmt.Errorf("engine: materializing view %s: %w", name, err)
-				return
+	first := true
+	for {
+		ev.mu.Lock()
+		e, ok := ev.cache[key]
+		if !ok {
+			if ev.Views == nil {
+				ev.mu.Unlock()
+				return nil, fmt.Errorf("engine: no relation or view named %q", name)
 			}
-			r.Attrs = append([]string{}, e.def.OutCols...)
-			e.rel = r
+			v, found := ev.Views.Get(name)
+			if !found {
+				ev.mu.Unlock()
+				return nil, fmt.Errorf("engine: no relation or view named %q", name)
+			}
+			e = &viewEntry{def: v}
+			if ev.cache == nil {
+				ev.cache = map[string]*viewEntry{}
+			}
+			ev.cache[key] = e
 		}
-		if ev.Metrics == nil {
-			materialize()
-		} else {
-			pprof.Do(context.Background(), pprof.Labels("aggview_view", name), func(context.Context) {
+		ev.mu.Unlock()
+		// Entry creation is guarded by the mutex, so every view misses
+		// exactly once per evaluator no matter how many resolvers race; the
+		// hit/miss split is therefore deterministic for a fixed fault-free
+		// workload (retries after an aborted materialization are counted
+		// only under volatile names).
+		if first {
+			if ok {
+				ev.Metrics.Counter("engine.view_cache.hit").Inc()
+			} else {
+				ev.Metrics.Counter("engine.view_cache.miss").Inc()
+			}
+			first = false
+		}
+		ran := false
+		e.once.Do(func() {
+			ran = true
+			materialize := func() {
+				r, err := ev.run(t, e.def.Def)
+				if err != nil {
+					e.err = fmt.Errorf("engine: materializing view %s: %w", name, err)
+					return
+				}
+				r.Attrs = append([]string{}, e.def.OutCols...)
+				e.rel = r
+			}
+			if ev.Metrics == nil {
 				materialize()
-			})
+			} else {
+				pprof.Do(t.ctx, pprof.Labels("aggview_view", name), func(context.Context) {
+					materialize()
+				})
+			}
+		})
+		if e.err != nil && budget.IsTransient(e.err) {
+			// Drop the poisoned entry so the abort is not memoized.
+			ev.mu.Lock()
+			if ev.cache[key] == e {
+				delete(ev.cache, key)
+			}
+			ev.mu.Unlock()
+			ev.Metrics.Volatile("engine.view_cache.aborted").Inc()
+			if ran {
+				return nil, e.err
+			}
+			// Someone else's task aborted the materialization we waited
+			// on; retry under our own context unless it too is done.
+			if err := t.poll(ev, "view_cache"); err != nil {
+				return nil, err
+			}
+			continue
 		}
-	})
-	return e.rel, e.err
+		return e.rel, e.err
+	}
 }
 
 // joinRows evaluates the FROM and WHERE clauses, producing full-width
 // rows indexed by ColID.
-func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
+func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 	n := len(q.Tables)
 	rels := make([]*Relation, n)
-	for i, t := range q.Tables {
-		r, err := ev.resolve(t.Source)
+	for i, tab := range q.Tables {
+		r, err := ev.resolve(t, tab.Source)
 		if err != nil {
 			return nil, err
 		}
-		if len(r.Attrs) != len(t.Cols) {
-			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", t.Source, len(r.Attrs), len(t.Cols))
+		if len(r.Attrs) != len(tab.Cols) {
+			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", tab.Source, len(r.Attrs), len(tab.Cols))
 		}
 		rels[i] = r
 	}
@@ -247,7 +308,7 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 		cols := q.Tables[i].Cols
 		tuples := rels[i].Tuples
 		preds := perTable[i]
-		rows, err := ev.parMapFlat(ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
+		rows, err := ev.parMapFlat(t, "scan", ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
 			row := make([]value.Value, width)
 			for pos, id := range cols {
 				row[id] = tuples[j][pos]
@@ -327,7 +388,11 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 		}
 		pendingEq = stillPending
 
-		current = ev.hashJoin(current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
+		merged, err := ev.hashJoin(t, current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
+		if err != nil {
+			return nil, err
+		}
+		current = merged
 		joined[next] = true
 
 		// Apply residual predicates that are now fully bound.
@@ -336,7 +401,7 @@ func (ev *Evaluator) joinRows(q *ir.Query) ([][]value.Value, error) {
 			if (p.L.IsConst || joined[tableOf(p.L.Col)]) && (p.R.IsConst || joined[tableOf(p.R.Col)]) {
 				pred := p
 				rows := current
-				kept, err := ev.parMapFlat(ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
+				kept, err := ev.parMapFlat(t, "filter", ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
 					h, err := predHolds(pred, rows[j])
 					if err != nil {
 						return err
@@ -370,22 +435,25 @@ type keyPair struct{ l, r ir.ColID }
 // incoming table) is indexed serially; the probe side (the accumulated
 // rows) is partitioned across workers, with per-worker buffers merged in
 // partition order so the output order matches the serial join exactly.
-func (ev *Evaluator) hashJoin(left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) [][]value.Value {
+func (ev *Evaluator) hashJoin(t *task, left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) ([][]value.Value, error) {
 	ev.Metrics.Counter("engine.join.probe").Add(int64(len(left)))
 	ev.Metrics.Histogram("engine.join.build_rows").Observe(int64(len(right)))
 	if len(left) == 0 || len(right) == 0 {
-		return nil
+		return nil, nil
 	}
 	workers := ev.workersFor(len(left))
 	if len(keys) == 0 {
-		out, _ := ev.parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
+		out, err := ev.parMapFlat(t, "join.cross", workers, len(left), func(i int, emit func([]value.Value)) error {
 			for _, r := range right {
 				emit(mergeRows(left[i], r, nextCols))
 			}
 			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
-		return out
+		return out, nil
 	}
 	pairs := make([]keyPair, len(keys))
 	for i, p := range keys {
@@ -396,18 +464,33 @@ func (ev *Evaluator) hashJoin(left, right [][]value.Value, keys []ir.Pred, table
 		pairs[i] = keyPair{l, r}
 	}
 	index := make(map[string][][]value.Value, len(right))
+	var pending int64
 	for _, row := range right {
 		k := joinKey(row, pairs, false)
 		index[k] = append(index[k], row)
+		if pending++; pending == pollBatchRows {
+			if err := t.charge(ev, "join.build", pending); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
 	}
-	out, _ := ev.parMapFlat(workers, len(left), func(i int, emit func([]value.Value)) error {
+	if pending > 0 {
+		if err := t.charge(ev, "join.build", pending); err != nil {
+			return nil, err
+		}
+	}
+	out, err := ev.parMapFlat(t, "join.probe", workers, len(left), func(i int, emit func([]value.Value)) error {
 		for _, r := range index[joinKey(left[i], pairs, true)] {
 			emit(mergeRows(left[i], r, nextCols))
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
-	return out
+	return out, nil
 }
 
 func joinKey(row []value.Value, pairs []keyPair, left bool) string {

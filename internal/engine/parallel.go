@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"aggview/internal/budget"
 	"aggview/internal/value"
 )
 
@@ -39,15 +40,20 @@ func (ev *Evaluator) workersFor(n int) int {
 
 // runChunks runs fn over contiguous index ranges covering [0, n) on
 // `workers` goroutines. fn must only touch state owned by its range.
+// Every chunk runs to completion (a failing chunk stops itself and
+// returns; the pool always drains before runChunks returns). The
+// surviving error is chosen deterministically: the first non-transient
+// error in chunk order wins over any transient (budget/cancel) abort,
+// whose value does not depend on which chunk observed it.
 // Pool activity is recorded under volatile metric names: launch and
 // chunk counts depend on the worker knob, so they are excluded from the
 // deterministic snapshot (DESIGN.md section 9).
-func (ev *Evaluator) runChunks(workers, n int, fn func(lo, hi int)) {
+func (ev *Evaluator) runChunks(workers, n int, fn func(lo, hi int) error) error {
 	if workers <= 1 || n == 0 {
 		ev.Metrics.Volatile("engine.pool.serial").Inc()
-		fn(0, n)
-		return
+		return fn(0, n)
 	}
+	errs := make([]error, workers)
 	launched := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -57,31 +63,68 @@ func (ev *Evaluator) runChunks(workers, n int, fn func(lo, hi int)) {
 		}
 		launched++
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	ev.Metrics.Volatile("engine.pool.launches").Inc()
 	ev.Metrics.Volatile("engine.pool.chunks").Add(int64(launched))
 	ev.Metrics.Volatile("engine.pool.width").Max(int64(launched))
+	return pickErr(errs)
+}
+
+// pickErr selects the surviving error of a drained pool: the first
+// non-transient error in partition order (the one the serial loop would
+// have surfaced), falling back to the first transient abort. Transient
+// errors land in scheduling-dependent partitions but carry
+// schedule-independent values, so the result is deterministic.
+func pickErr(errs []error) error {
+	var transient error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !budget.IsTransient(err) {
+			return err
+		}
+		if transient == nil {
+			transient = err
+		}
+	}
+	return transient
 }
 
 // parMapFlat maps each index in [0, n) to zero or more output rows,
 // preserving input order: workers process contiguous index ranges into
 // per-worker buffers that are concatenated in range order, so the output
-// is byte-identical to the serial loop. The returned error is the one
-// the serial loop would have hit first (the first error of the earliest
-// failing partition; earlier partitions either fail earlier or not at
-// all, since errors stop a partition at its first failing index).
-func (ev *Evaluator) parMapFlat(workers, n int, fn func(i int, emit func([]value.Value)) error) ([][]value.Value, error) {
+// is byte-identical to the serial loop. Each partition charges the
+// task's row budget and polls cancellation every pollBatchRows indexes
+// (site names the kernel); the total charged is n regardless of the
+// worker count, so whether a query trips its budget is independent of
+// the Workers knob. The returned error is the first non-transient error
+// in partition order (the one the serial loop would have hit first),
+// falling back to the schedule-independent transient abort.
+func (ev *Evaluator) parMapFlat(t *task, site string, workers, n int, fn func(i int, emit func([]value.Value)) error) ([][]value.Value, error) {
 	if workers <= 1 {
 		ev.Metrics.Volatile("engine.pool.serial").Inc()
 		var out [][]value.Value
 		emit := func(r []value.Value) { out = append(out, r) }
+		var pending int64
 		for i := 0; i < n; i++ {
 			if err := fn(i, emit); err != nil {
+				return nil, err
+			}
+			if pending++; pending == pollBatchRows {
+				if err := t.charge(ev, site, pending); err != nil {
+					return nil, err
+				}
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			if err := t.charge(ev, site, pending); err != nil {
 				return nil, err
 			}
 		}
@@ -105,10 +148,23 @@ func (ev *Evaluator) parMapFlat(workers, n int, fn func(i int, emit func([]value
 			defer wg.Done()
 			p := &parts[w]
 			emit := func(r []value.Value) { p.rows = append(p.rows, r) }
+			var pending int64
 			for i := lo; i < hi; i++ {
 				if err := fn(i, emit); err != nil {
 					p.err = err
 					return
+				}
+				if pending++; pending == pollBatchRows {
+					if err := t.charge(ev, site, pending); err != nil {
+						p.err = err
+						return
+					}
+					pending = 0
+				}
+			}
+			if pending > 0 {
+				if err := t.charge(ev, site, pending); err != nil {
+					p.err = err
 				}
 			}
 		}(w, lo, hi)
@@ -117,12 +173,14 @@ func (ev *Evaluator) parMapFlat(workers, n int, fn func(i int, emit func([]value
 	ev.Metrics.Volatile("engine.pool.launches").Inc()
 	ev.Metrics.Volatile("engine.pool.chunks").Add(int64(launched))
 	ev.Metrics.Volatile("engine.pool.width").Max(int64(launched))
+	errs := make([]error, len(parts))
 	total := 0
 	for w := range parts {
-		if parts[w].err != nil {
-			return nil, parts[w].err
-		}
+		errs[w] = parts[w].err
 		total += len(parts[w].rows)
+	}
+	if err := pickErr(errs); err != nil {
+		return nil, err
 	}
 	out := make([][]value.Value, 0, total)
 	for w := range parts {

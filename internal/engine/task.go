@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+
+	"aggview/internal/budget"
+	"aggview/internal/faultinject"
+)
+
+// pollBatchRows is the row-batch granularity at which the kernels
+// observe cancellation and charge the row budget: every partition polls
+// once per this many input rows. Small enough that a canceled query
+// stops within microseconds, large enough that the poll is invisible
+// next to the per-row work.
+const pollBatchRows = 1024
+
+// task is the per-execution state threaded through every kernel: the
+// caller's context, the budget meter drawn from it (nil: unlimited) and
+// the armed fault injector (nil outside the harness). One task spans an
+// entire ExecContext call including nested view materialization, so
+// budgets pool across the whole operation.
+type task struct {
+	ctx   context.Context
+	meter *budget.Meter
+	inj   *faultinject.Injector
+}
+
+// newTask resolves the context's meter and injector once, so the hot
+// polls never touch context.Value.
+func newTask(ctx context.Context) *task {
+	return &task{ctx: ctx, meter: budget.MeterFrom(ctx), inj: faultinject.From(ctx)}
+}
+
+// charge records n processed rows at the named kernel site: it feeds
+// the fault injector, charges the row budget, and polls the context.
+// The typed error (budget.Exceeded or budget.Canceled) aborts the
+// kernel; partitions that observe it stop at their next batch boundary
+// and the pool drains before the error is returned, so no partial
+// result ever escapes. Error counters are volatile: which partition
+// observes the abort is scheduling-dependent.
+func (t *task) charge(ev *Evaluator, site string, n int64) error {
+	t.inj.Observe(faultinject.SiteRow, n)
+	if err := t.meter.AddRows(site, n); err != nil {
+		ev.Metrics.Volatile("engine.err.budget").Inc()
+		return err
+	}
+	if err := budget.Check(t.ctx, site); err != nil {
+		ev.Metrics.Volatile("engine.err.canceled").Inc()
+		return err
+	}
+	return nil
+}
+
+// poll checks cancellation only (no row charge), for loops whose work
+// is not row consumption.
+func (t *task) poll(ev *Evaluator, site string) error {
+	if err := budget.Check(t.ctx, site); err != nil {
+		ev.Metrics.Volatile("engine.err.canceled").Inc()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package faultinject is a deterministic, seed-driven cancellation
+// injector for the execution engine and the rewrite search (DESIGN.md
+// section 10).
+//
+// An Injector is armed on a context and counts observations of one
+// instrumented site — row batches in the engine kernels, candidates in
+// the rewrite search, view-cache accesses — and cancels the context at
+// the k-th observation. The cancellation then propagates through the
+// production machinery exactly as a caller-initiated cancel would: the
+// harness tests assert that every entry point returns either the
+// correct bag or a clean typed budget.Canceled error, never a partial
+// result, a panic, or a leaked goroutine.
+//
+// Observations are counted with an atomic, so a worker pool observing
+// concurrently fires exactly once; which worker observes the firing
+// count is scheduling-dependent, but the contract under test ("correct
+// result or typed error") is schedule-independent. At Workers=1 the
+// firing point is fully deterministic.
+//
+// A nil *Injector is a valid no-op, so instrumentation sites observe
+// unconditionally.
+package faultinject
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Site names one instrumented observation point.
+type Site string
+
+const (
+	// SiteRow is observed by the engine kernels, once per row batch,
+	// with the batch size as the observation weight.
+	SiteRow Site = "row"
+	// SiteCandidate is observed by the rewrite search, once per
+	// (view, mapping) candidate analyzed.
+	SiteCandidate Site = "candidate"
+	// SiteCache is observed by the engine's view cache, once per
+	// resolve of a view name.
+	SiteCache Site = "cache"
+)
+
+// Sites lists every supported injection site.
+var Sites = []Site{SiteRow, SiteCandidate, SiteCache}
+
+// Spec is a serializable injection plan: cancel at the k-th observation
+// of the site (1-based; weighted sites such as rows count units, not
+// batches).
+type Spec struct {
+	Site Site  `json:"site"`
+	K    int64 `json:"k"`
+}
+
+// Injector cancels an armed context at the k-th observation of its
+// site. One Injector instruments one operation; arm a fresh one per
+// run.
+type Injector struct {
+	site      Site
+	remaining atomic.Int64
+	fired     atomic.Bool
+	cancel    context.CancelFunc
+}
+
+// New returns an injector that fires at the k-th observation of site
+// (k <= 0 fires on the first observation).
+func New(site Site, k int64) *Injector {
+	if k < 1 {
+		k = 1
+	}
+	in := &Injector{site: site}
+	in.remaining.Store(k)
+	return in
+}
+
+// NewSpec builds the injector described by a Spec.
+func NewSpec(s Spec) *Injector { return New(s.Site, s.K) }
+
+type injectorKey struct{}
+
+// Arm derives a cancellable context carrying the injector. The returned
+// cancel releases the context's resources and must be called when the
+// operation finishes (firing also cancels, but Arm's cancel remains the
+// owner). Arm must be called exactly once, before any Observe.
+func (in *Injector) Arm(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	in.cancel = cancel
+	return context.WithValue(ctx, injectorKey{}, in), cancel
+}
+
+// From extracts the armed injector; nil (no-op) when absent.
+func From(ctx context.Context) *Injector {
+	in, _ := ctx.Value(injectorKey{}).(*Injector)
+	return in
+}
+
+// Observe records n observations of site (n <= 0 counts as 1) and
+// cancels the armed context once the cumulative count reaches the
+// injector's k. Nil-safe and site-filtered, so instrumentation points
+// call it unconditionally.
+func (in *Injector) Observe(site Site, n int64) {
+	if in == nil || in.site != site {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	if in.remaining.Add(-n) <= 0 && in.cancel != nil && in.fired.CompareAndSwap(false, true) {
+		in.cancel()
+	}
+}
+
+// Fired reports whether the injector has canceled its context.
+func (in *Injector) Fired() bool { return in != nil && in.fired.Load() }

@@ -92,6 +92,19 @@ func (a CostAnomaly) String() string {
 	return fmt.Sprintf("cost function impure: key %q cost %g then %g", a.Key, a.First, a.Second)
 }
 
+// Fallback records a graceful degradation: an operation abandoned its
+// preferred strategy (e.g. rewrite search hit its candidate budget) and
+// fell back to a cheaper one (direct evaluation), tagging the result's
+// provenance so a budget-shaped answer is never mistaken for a
+// search-shaped one.
+type Fallback struct {
+	// Op names the facade operation that degraded (e.g. "Plan").
+	Op string `json:"op"`
+	// Reason is the triggering error's message (e.g. the budget.Exceeded
+	// rendering).
+	Reason string `json:"reason"`
+}
+
 // Trace is an immutable snapshot of everything a Tracer recorded.
 type Trace struct {
 	// Waves is the number of BFS waves the search ran.
@@ -108,6 +121,8 @@ type Trace struct {
 	CostCalls int64 `json:"cost_calls"`
 	// CostAnomalies lists the purity violations observed by Best.
 	CostAnomalies []CostAnomaly `json:"cost_anomalies,omitempty"`
+	// Fallbacks lists graceful degradations, in occurrence order.
+	Fallbacks []Fallback `json:"fallbacks,omitempty"`
 }
 
 // Tracer accumulates rewrite-search events. The zero value is ready to
@@ -176,6 +191,16 @@ func (t *Tracer) CostCall(key string, cost float64) {
 	}
 }
 
+// Fallback records one graceful degradation.
+func (t *Tracer) Fallback(op, reason string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.trace.Fallbacks = append(t.trace.Fallbacks, Fallback{Op: op, Reason: reason})
+	t.mu.Unlock()
+}
+
 // Snapshot returns a deep copy of the recorded trace; a nil tracer
 // yields the zero Trace.
 func (t *Tracer) Snapshot() Trace {
@@ -187,6 +212,7 @@ func (t *Tracer) Snapshot() Trace {
 	out := t.trace
 	out.Candidates = append([]Candidate{}, t.trace.Candidates...)
 	out.CostAnomalies = append([]CostAnomaly{}, t.trace.CostAnomalies...)
+	out.Fallbacks = append([]Fallback{}, t.trace.Fallbacks...)
 	return out
 }
 

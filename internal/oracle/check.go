@@ -1,12 +1,14 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"aggview"
 	"aggview/internal/core"
 	"aggview/internal/engine"
+	"aggview/internal/faultinject"
 	"aggview/internal/obs"
 )
 
@@ -25,6 +27,15 @@ type Options struct {
 	// exists for fault injection: tests break an S1–S4 step on purpose
 	// and assert the checker notices.
 	Tamper func(*core.Rewriting)
+	// Faults, when non-empty, adds a cancellation-injection pass to each
+	// check: every execution is repeated with a deterministic injector
+	// armed per spec, and any run that yields a partial result, an
+	// untyped error or a panic — instead of the exact correct bag or a
+	// clean typed Canceled — is a violation.
+	Faults []faultinject.Spec
+	// ShrinkBudget bounds the number of Check calls one Shrink may
+	// spend; 0 means the default (400).
+	ShrinkBudget int
 	// Metrics, when non-nil, is attached to the compiled system so the
 	// check's engine executions report kernel counters into it; a
 	// snapshot taken when a violation surfaces then rides along with
@@ -52,6 +63,9 @@ type Violation struct {
 	// RewritingSQL is the rewritten query (with auxiliary views), or
 	// the original query for direct-execution violations.
 	RewritingSQL string
+	// Fault identifies the injected fault ("site@k") for violations
+	// surfaced by the cancellation-injection pass; empty otherwise.
+	Fault string
 	// Err is set when execution failed outright.
 	Err error
 	// Want and Got are the direct and the rewritten results; nil when
@@ -60,11 +74,15 @@ type Violation struct {
 }
 
 func (v *Violation) String() string {
-	if v.Err != nil {
-		return fmt.Sprintf("workers=%d using=%v: execution failed: %v", v.Workers, v.Used, v.Err)
+	tag := ""
+	if v.Fault != "" {
+		tag = " fault=" + v.Fault
 	}
-	return fmt.Sprintf("workers=%d using=%v: results differ\n  rewriting: %s\n  want:\n%s\n  got:\n%s",
-		v.Workers, v.Used, v.RewritingSQL, indent(v.Want.Sorted().String()), indent(v.Got.Sorted().String()))
+	if v.Err != nil {
+		return fmt.Sprintf("workers=%d using=%v%s: execution failed: %v", v.Workers, v.Used, tag, v.Err)
+	}
+	return fmt.Sprintf("workers=%d using=%v%s: results differ\n  rewriting: %s\n  want:\n%s\n  got:\n%s",
+		v.Workers, v.Used, tag, v.RewritingSQL, indent(v.Want.Sorted().String()), indent(v.Got.Sorted().String()))
 }
 
 func indent(s string) string {
@@ -75,6 +93,10 @@ func indent(s string) string {
 type Outcome struct {
 	// Rewritings is the number of rewritings the rewriter emitted.
 	Rewritings int
+	// FaultRuns counts executions performed under an armed injector
+	// during the cancellation-injection pass (0 when Options.Faults is
+	// empty).
+	FaultRuns int
 	// Violations lists every inequivalence found (empty: case passed).
 	Violations []Violation
 }
@@ -86,8 +108,17 @@ func (o *Outcome) OK() bool { return len(o.Violations) == 0 }
 // rewriter emits, at every configured worker count, and records each
 // multiset inequality as a violation. The returned error reports a case
 // that could not be set up at all (schema or view rejected) — a
-// generator defect, not an equivalence violation.
+// generator defect, not an equivalence violation. Check is CheckContext
+// with a background context.
 func Check(c *Case, opt Options) (*Outcome, error) {
+	return CheckContext(context.Background(), c, opt)
+}
+
+// CheckContext is Check under a context: cancellation and deadline
+// expiry abort the check between executions with a typed error (no
+// partial outcome is returned), and when Options.Faults is set the
+// injection pass derives each per-run armed context from ctx.
+func CheckContext(ctx context.Context, c *Case, opt Options) (*Outcome, error) {
 	opt = opt.withDefaults()
 	sys, err := c.Compile(aggview.Options{
 		PaperFaithful: opt.PaperFaithful,
@@ -101,7 +132,7 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 
 	// Reference: direct execution, serial.
 	sys.Opts.Workers = 1
-	ref, err := sys.Query(sql)
+	ref, err := sys.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, fmt.Errorf("oracle: direct execution: %w", err)
 	}
@@ -114,8 +145,11 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 			continue
 		}
 		sys.Opts.Workers = w
-		got, err := sys.Query(sql)
+		got, err := sys.QueryContext(ctx, sql)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			out.Violations = append(out.Violations, Violation{Workers: w, RewritingSQL: sql, Err: err})
 			continue
 		}
@@ -126,7 +160,7 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 		}
 	}
 
-	rws, err := sys.Rewritings(sql)
+	rws, err := sys.RewritingsContext(ctx, sql)
 	if err != nil {
 		return nil, fmt.Errorf("oracle: enumerating rewritings: %w", err)
 	}
@@ -137,8 +171,11 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 		}
 		for _, w := range opt.Workers {
 			sys.Opts.Workers = w
-			got, err := sys.ExecRewriting(r)
+			got, err := sys.ExecRewritingContext(ctx, r)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				out.Violations = append(out.Violations, Violation{
 					Workers: w, Used: r.Used, RewritingSQL: r.SQL(), Err: err,
 				})
@@ -157,6 +194,11 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 					Workers: w, Used: r.Used, RewritingSQL: r.SQL(), Want: want, Got: got,
 				})
 			}
+		}
+	}
+	if len(opt.Faults) > 0 {
+		if err := faultPass(ctx, sys, sql, ref, rws, opt, out); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -1,0 +1,86 @@
+package oracle
+
+// The cancellation-injection pass: re-run every execution of a case
+// with a deterministic fault injector armed, and hold the engine to the
+// harness contract — the k-th row / candidate / cache access cancels
+// the context, and the run must end in either the exact correct bag
+// (the cancel arrived after the work) or a clean typed Canceled error.
+// A partial result, an untyped error, or a panic is a violation, the
+// same currency as a multiset inequality.
+
+import (
+	"context"
+	"fmt"
+
+	"aggview"
+	"aggview/internal/budget"
+	"aggview/internal/core"
+	"aggview/internal/engine"
+	"aggview/internal/faultinject"
+)
+
+// faultPass runs the direct query and every rewriting once per
+// (fault spec, worker count) with a fresh armed injector, recording
+// contract breaches as violations. A cancellation of the caller's ctx
+// itself aborts the pass with that error.
+func faultPass(ctx context.Context, sys *aggview.System, sql string, ref *engine.Relation, rws []*core.Rewriting, opt Options, out *Outcome) error {
+	for _, spec := range opt.Faults {
+		for _, w := range opt.Workers {
+			if err := budget.Check(ctx, "oracle.faults"); err != nil {
+				return err
+			}
+			sys.Opts.Workers = w
+			tag := fmt.Sprintf("%s@%d", spec.Site, spec.K)
+
+			run := func(used []string, shownSQL string, setOnly bool, exec func(context.Context) (*engine.Relation, error)) {
+				out.FaultRuns++
+				in := faultinject.NewSpec(spec)
+				fctx, cancel := in.Arm(ctx)
+				defer cancel()
+				got, err := execRecover(fctx, exec)
+				if err != nil {
+					if budget.IsCanceled(err) && got == nil {
+						return // clean typed abort: contract held
+					}
+					out.Violations = append(out.Violations, Violation{
+						Workers: w, Used: used, RewritingSQL: shownSQL, Fault: tag,
+						Err: fmt.Errorf("under injection: %w", err),
+					})
+					return
+				}
+				want := ref
+				if setOnly {
+					want, got = dedup(want), dedup(got)
+				}
+				if !engine.ResultsEqualBag(want, got) {
+					out.Violations = append(out.Violations, Violation{
+						Workers: w, Used: used, RewritingSQL: shownSQL, Fault: tag,
+						Want: want, Got: got,
+					})
+				}
+			}
+
+			run(nil, sql, false, func(fctx context.Context) (*engine.Relation, error) {
+				return sys.QueryContext(fctx, sql)
+			})
+			for _, r := range rws {
+				r := r
+				run(r.Used, r.SQL(), r.SetOnly, func(fctx context.Context) (*engine.Relation, error) {
+					return sys.ExecRewritingContext(fctx, r)
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// execRecover converts a panic under injection into an error, so the
+// harness reports it as a violation instead of tearing the soak down.
+func execRecover(ctx context.Context, exec func(context.Context) (*engine.Relation, error)) (res *engine.Relation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return exec(ctx)
+}

@@ -6,15 +6,25 @@ package oracle
 // small (tens of rows, a handful of clauses), so O(parts · checks)
 // converges in well under the default budget.
 
-// shrinkBudget bounds the number of Check calls one Shrink may spend.
+// shrinkBudget is the default bound on the number of Check calls one
+// Shrink may spend (Options.ShrinkBudget overrides it).
 const shrinkBudget = 400
 
 // Shrink reduces a failing case to a smaller one that still fails under
 // the same options. The input is not mutated; the result is the
 // smallest failing variant found within the budget (at worst the
 // original). A case that did not fail is returned unchanged.
+//
+// The budget is monotone: because the pass order and each pass's
+// candidate order are deterministic, a run with budget b2 > b1 replays
+// b1's accept/reject sequence exactly and then keeps reducing, and
+// every accepted candidate only removes structure — so a larger budget
+// never yields a larger repro.
 func Shrink(c *Case, opt Options) *Case {
-	budget := shrinkBudget
+	budget := opt.ShrinkBudget
+	if budget <= 0 {
+		budget = shrinkBudget
+	}
 	fails := func(cand *Case) bool {
 		if budget <= 0 {
 			return false

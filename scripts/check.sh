@@ -28,7 +28,14 @@ go run ./cmd/aggview explain -replay "$TRACE_JSON"
 go test ./...
 go test -race -short ./...
 
+# Fault-injection gate (DESIGN.md section 10): the cancellation,
+# deadline, budget and injection suites under the race detector — a
+# canceled kernel must return the exact bag or a typed error, drain its
+# pool, and leak nothing.
+go test -race -short -run 'Cancel|Budget|FaultInject' ./...
+
 # Short differential-oracle pass (well under 30s): random instances,
 # rewrite-vs-direct multiset equivalence at worker counts 1 and
-# GOMAXPROCS. `make soak` runs the long version.
+# GOMAXPROCS, with seeded cancellation injection on every trial
+# (-faults defaults to on). `make soak` runs the long version.
 go run ./cmd/oraclerunner -seeds 1,2 -n 150
