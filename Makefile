@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-json quick soak trace faults
+.PHONY: build test race vet lint check bench bench-json bench-smoke quick soak trace faults
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,12 @@ bench:
 # repo root (see DESIGN.md sections 6 and 9); the filename tracks the
 # PR that last refreshed it.
 bench-json:
-	$(GO) run ./cmd/benchrunner -json BENCH_PR4.json
+	$(GO) run ./cmd/benchrunner -json BENCH_PR6.json
+
+# bench-smoke is the CI parallel-speedup gate: workers=2 must not
+# regress against serial on the aggregation and join kernels.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -smoke
 
 # trace runs the rewrite-search tracer over the bundled catalog and
 # replays the written report to prove the trace round-trips losslessly

@@ -80,6 +80,11 @@ type System struct {
 	// system builds. Both fields default to nil: the instrumentation is
 	// a no-op until a caller opts in.
 	Metrics *obs.Metrics
+	// Store, when non-nil, replaces DB as the storage backend behind
+	// every evaluator's base-table scans. The fault harness installs
+	// engine.NewFaultStorage here to exercise I/O-error paths; normal
+	// operation leaves it nil.
+	Store engine.Storage
 
 	maint *maintain.Maintainer
 }
@@ -103,6 +108,7 @@ func (s *System) source() ir.SchemaSource {
 // the system's Workers knob (Opts.Workers: 0 = GOMAXPROCS, 1 = serial).
 func (s *System) evaluator(reg *ir.Registry) *engine.Evaluator {
 	ev := engine.NewEvaluator(s.DB, reg)
+	ev.Store = s.Store
 	ev.Workers = s.Opts.Workers
 	ev.Metrics = s.Metrics
 	return ev
@@ -121,10 +127,11 @@ func (s *System) opCtx(ctx context.Context) (context.Context, context.CancelFunc
 	if s.Opts.Deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.Opts.Deadline)
 	}
-	if budget.MeterFrom(ctx) == nil && (s.Opts.MaxRows > 0 || s.Opts.MaxCandidates > 0) {
+	if budget.MeterFrom(ctx) == nil && (s.Opts.MaxRows > 0 || s.Opts.MaxCandidates > 0 || s.Opts.MaxMemBytes > 0) {
 		ctx = budget.WithMeter(ctx, budget.NewMeter(budget.Limits{
 			MaxRows:       s.Opts.MaxRows,
 			MaxCandidates: s.Opts.MaxCandidates,
+			MaxMemBytes:   s.Opts.MaxMemBytes,
 		}))
 	}
 	return ctx, cancel

@@ -58,6 +58,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline for rewrite search and execution (0: none)")
 	maxRows := flag.Int64("max-rows", 0, "per-query row-processing budget across all kernels and view materializations (0: unlimited)")
 	maxCandidates := flag.Int64("max-candidates", 0, "per-query rewrite-search candidate budget; an exhausted search falls back to direct evaluation (0: unlimited)")
+	maxMem := flag.Int64("max-mem", 0, "per-query memory budget in bytes for columnar data the engine materializes (0: unlimited)")
 	demo := flag.Bool("demo", false, "run the built-in Example 1.1 demo")
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 	s.Opts.Deadline = *timeout
 	s.Opts.MaxRows = *maxRows
 	s.Opts.MaxCandidates = *maxCandidates
+	s.Opts.MaxMemBytes = *maxMem
 
 	for i, q := range queries {
 		fmt.Printf("-- query %d --\n", i+1)

@@ -37,6 +37,17 @@ type Limits struct {
 	// MaxCandidates caps the number of (view, mapping) candidates the
 	// rewrite search analyzes.
 	MaxCandidates int64
+	// MaxMemBytes caps the bytes of columnar data the execution engine
+	// materializes per operation: table images built by Storage.Scan,
+	// gathered filter and join outputs, and materialized views all
+	// charge the meter through the columnar allocator (estimated bytes:
+	// 8 per numeric cell, 16 per string header, 48 per boxed value).
+	MaxMemBytes int64
+	// MaxCacheEntries caps the number of view-cache entries one
+	// operation may create; a query referencing more distinct views than
+	// this aborts with a typed *Exceeded instead of materializing them
+	// all.
+	MaxCacheEntries int64
 }
 
 // Canceled reports that a context was canceled or its deadline expired
@@ -58,7 +69,7 @@ func (c *Canceled) Unwrap() error { return c.Err }
 // Exceeded reports an exhausted resource budget.
 type Exceeded struct {
 	Site     string
-	Resource string // "rows" or "candidates"
+	Resource string // "rows", "candidates", "memory" or "cache_entries"
 	Limit    int64
 }
 
@@ -87,9 +98,11 @@ func IsTransient(err error) bool { return IsCanceled(err) || IsExceeded(err) }
 // use: the engine's worker pools and the search's analyzers charge it
 // from many goroutines. A nil *Meter is a valid unlimited meter.
 type Meter struct {
-	limits     Limits
-	rows       atomic.Int64
-	candidates atomic.Int64
+	limits       Limits
+	rows         atomic.Int64
+	candidates   atomic.Int64
+	mem          atomic.Int64
+	cacheEntries atomic.Int64
 }
 
 // NewMeter returns a meter enforcing the given limits.
@@ -121,6 +134,32 @@ func (m *Meter) AddCandidates(site string, n int64) error {
 	return nil
 }
 
+// AddMem charges n bytes of columnar allocation, returning *Exceeded
+// once the total crosses MaxMemBytes. The engine's allocation sizes are
+// fixed by the data, not by the worker schedule, so whether an operation
+// exceeds its memory budget is independent of the worker count.
+func (m *Meter) AddMem(site string, n int64) error {
+	if m == nil || m.limits.MaxMemBytes <= 0 {
+		return nil
+	}
+	if m.mem.Add(n) > m.limits.MaxMemBytes {
+		return &Exceeded{Site: site, Resource: "memory", Limit: m.limits.MaxMemBytes}
+	}
+	return nil
+}
+
+// AddCacheEntries charges n newly created view-cache entries, returning
+// *Exceeded once the total crosses MaxCacheEntries.
+func (m *Meter) AddCacheEntries(site string, n int64) error {
+	if m == nil || m.limits.MaxCacheEntries <= 0 {
+		return nil
+	}
+	if m.cacheEntries.Add(n) > m.limits.MaxCacheEntries {
+		return &Exceeded{Site: site, Resource: "cache_entries", Limit: m.limits.MaxCacheEntries}
+	}
+	return nil
+}
+
 // Rows returns the rows charged so far; 0 on a nil meter.
 func (m *Meter) Rows() int64 {
 	if m == nil {
@@ -135,6 +174,14 @@ func (m *Meter) Candidates() int64 {
 		return 0
 	}
 	return m.candidates.Load()
+}
+
+// Mem returns the bytes charged so far; 0 on a nil meter.
+func (m *Meter) Mem() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.mem.Load()
 }
 
 type meterKey struct{}

@@ -54,6 +54,13 @@ type Options struct {
 	// here so one Options value can configure a whole aggview.System
 	// (the facade attaches it to each operation's budget meter).
 	MaxRows int64
+	// MaxMemBytes caps the estimated bytes of columnar data the engine
+	// materializes per operation (table and view images, filter and join
+	// outputs). Like MaxRows it rides here for the facade's benefit; the
+	// engine's allocator charges it and aborts with a typed
+	// *budget.Exceeded{Resource: "memory"} when crossed. 0 means
+	// unlimited.
+	MaxMemBytes int64
 	// Deadline bounds each operation's wall-clock time. Enforced by the
 	// aggview facade and the CLIs (context.WithTimeout per operation);
 	// the core search honors whatever deadline its context carries.

@@ -2,49 +2,32 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"aggview/internal/ir"
 	"aggview/internal/value"
 )
 
 // accum is the streaming state of one aggregate over one group. Rows are
-// folded incrementally in input order, so only the per-aggregate state is
-// retained instead of the group's full row set; a group's rows are always
-// folded by a single worker, which keeps results (including float
-// accumulation order) byte-identical between the serial and parallel
-// paths.
+// absorbed incrementally in input order; per-morsel partial states merge
+// in morsel index order (see vagg.go), so the fold tree — including
+// float accumulation order — is fixed by the input alone and results are
+// byte-identical between the serial and parallel paths.
 type accum struct {
 	fn   ir.AggFunc
 	arg  ir.Expr // nil for COUNT(*) and bare COUNT
 	rows int64
 	seen bool
-	sum  value.Value // SUM: running total, typed by the first value
+	sum  value.Value // SUM: running total, typed by the earliest value
 	avg  float64     // AVG: running float total
 	best value.Value // MIN/MAX: current extremum
 }
 
-// fold absorbs one row into the accumulator.
-func (ac *accum) fold(row []value.Value) error {
+// absorb folds one evaluated argument value into the accumulator. It is
+// the typed-value half of fold, used by the vectorized path (which
+// evaluates arguments as vectors) for every aggregate except COUNT,
+// whose argument check happens on the group representative instead.
+func (ac *accum) absorb(v value.Value) error {
 	ac.rows++
-	if ac.arg == nil {
-		return nil
-	}
-	if ac.fn == ir.AggCount {
-		// No NULLs: COUNT(arg) counts rows. The argument is still
-		// evaluated once to surface reference errors.
-		if !ac.seen {
-			if _, err := evalScalar(ac.arg, row); err != nil {
-				return err
-			}
-			ac.seen = true
-		}
-		return nil
-	}
-	v, err := evalScalar(ac.arg, row)
-	if err != nil {
-		return err
-	}
 	switch ac.fn {
 	case ir.AggMin, ir.AggMax:
 		if !ac.seen {
@@ -66,6 +49,7 @@ func (ac *accum) fold(row []value.Value) error {
 			ac.sum, ac.seen = v, true
 			return nil
 		}
+		var err error
 		ac.sum, err = value.Add(ac.sum, v)
 		return err
 	case ir.AggAvg:
@@ -77,6 +61,80 @@ func (ac *accum) fold(row []value.Value) error {
 		return fmt.Errorf("engine: unknown aggregate %v", ac.fn)
 	}
 	return nil
+}
+
+// merge absorbs another accumulator's partial state, produced over rows
+// strictly after this accumulator's own. SUM combines the partials with
+// the same value.Add chain the serial fold would have used, so typing
+// (int until the first float) follows the earliest rows.
+func (ac *accum) merge(o *accum) error {
+	ac.rows += o.rows
+	if ac.arg == nil || ac.fn == ir.AggCount {
+		if o.seen {
+			ac.seen = true
+		}
+		return nil
+	}
+	switch ac.fn {
+	case ir.AggMin, ir.AggMax:
+		if !o.seen {
+			return nil
+		}
+		if !ac.seen {
+			ac.best, ac.seen = o.best, true
+			return nil
+		}
+		if !value.Comparable(ac.best, o.best) {
+			return fmt.Errorf("engine: %s over incomparable values %s and %s", ac.fn, ac.best, o.best)
+		}
+		c := value.Compare(o.best, ac.best)
+		if (ac.fn == ir.AggMin && c < 0) || (ac.fn == ir.AggMax && c > 0) {
+			ac.best = o.best
+		}
+	case ir.AggSum:
+		if !o.seen {
+			return nil
+		}
+		if !ac.seen {
+			ac.sum, ac.seen = o.sum, true
+			return nil
+		}
+		var err error
+		ac.sum, err = value.Add(ac.sum, o.sum)
+		return err
+	case ir.AggAvg:
+		ac.avg += o.avg
+	default:
+		return fmt.Errorf("engine: unknown aggregate %v", ac.fn)
+	}
+	return nil
+}
+
+// fold absorbs one row into the accumulator: the row-at-a-time
+// reference semantics of the vectorized fold (see
+// TestAggKernelMatchesReference).
+func (ac *accum) fold(row []value.Value) error {
+	if ac.arg == nil {
+		ac.rows++
+		return nil
+	}
+	if ac.fn == ir.AggCount {
+		// No NULLs: COUNT(arg) counts rows. The argument is still
+		// evaluated once to surface reference errors.
+		ac.rows++
+		if !ac.seen {
+			if _, err := evalScalar(ac.arg, row); err != nil {
+				return err
+			}
+			ac.seen = true
+		}
+		return nil
+	}
+	v, err := evalScalar(ac.arg, row)
+	if err != nil {
+		return err
+	}
+	return ac.absorb(v)
 }
 
 // result finalizes the accumulator into the aggregate's value.
@@ -105,15 +163,20 @@ type group struct {
 	first int
 }
 
-func newGroup(rep []value.Value, aggs []*ir.Agg, first int) *group {
-	g := &group{rep: rep, accs: make([]accum, len(aggs)), first: first}
+// newAccs builds the accumulator bank for one group.
+func newAccs(aggs []*ir.Agg) []accum {
+	accs := make([]accum, len(aggs))
 	for i, a := range aggs {
-		g.accs[i].fn = a.Func
+		accs[i].fn = a.Func
 		if !a.Star {
-			g.accs[i].arg = a.Arg
+			accs[i].arg = a.Arg
 		}
 	}
-	return g
+	return accs
+}
+
+func newGroup(rep []value.Value, aggs []*ir.Agg, first int) *group {
+	return &group{rep: rep, accs: newAccs(aggs), first: first}
 }
 
 // fold absorbs one row into every accumulator of the group.
@@ -152,198 +215,6 @@ func collectAggs(q *ir.Query) ([]*ir.Agg, map[*ir.Agg]int) {
 		walk(h.R)
 	}
 	return list, idx
-}
-
-// aggregate evaluates the GROUP BY / HAVING / SELECT pipeline of an
-// aggregation query over the joined rows, appending result tuples to out.
-// Aggregates stream through per-group accumulators instead of
-// materializing each group's row set; grouped inputs are folded by a
-// hash-partitioned worker pool (see groupFold).
-func (ev *Evaluator) aggregate(t *task, q *ir.Query, rows [][]value.Value, out *Relation) error {
-	sw := ev.Metrics.Time("engine.agg.ns")
-	defer sw.Stop()
-	ev.Metrics.Counter("engine.agg.rows").Add(int64(len(rows)))
-	aggs, aggIdx := collectAggs(q)
-	var groups []*group
-	if len(q.GroupBy) == 0 {
-		// A single global group; an empty input yields no groups (see the
-		// package comment for this documented simplification). One group
-		// means one fold chain, which stays serial by construction.
-		if len(rows) > 0 {
-			g := newGroup(rows[0], aggs, 0)
-			var pending int64
-			for _, row := range rows {
-				if err := g.fold(row); err != nil {
-					return err
-				}
-				if pending++; pending == pollBatchRows {
-					if err := t.charge(ev, "agg.fold", pending); err != nil {
-						return err
-					}
-					pending = 0
-				}
-			}
-			if pending > 0 {
-				if err := t.charge(ev, "agg.fold", pending); err != nil {
-					return err
-				}
-			}
-			groups = append(groups, g)
-		}
-	} else {
-		var err error
-		groups, err = ev.groupFold(t, q, rows, aggs)
-		if err != nil {
-			return err
-		}
-	}
-	ev.Metrics.Counter("engine.agg.groups").Add(int64(len(groups)))
-
-	for _, g := range groups {
-		keep := true
-		for _, h := range q.Having {
-			l, err := evalGrouped(h.L, g, aggIdx)
-			if err != nil {
-				return err
-			}
-			r, err := evalGrouped(h.R, g, aggIdx)
-			if err != nil {
-				return err
-			}
-			ok, err := compare(h.Op, l, r)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				keep = false
-				break
-			}
-		}
-		if !keep {
-			continue
-		}
-		tuple := make([]value.Value, len(q.Select))
-		for i, it := range q.Select {
-			v, err := evalGrouped(it.Expr, g, aggIdx)
-			if err != nil {
-				return err
-			}
-			tuple[i] = v
-		}
-		out.Tuples = append(out.Tuples, tuple)
-	}
-	return nil
-}
-
-// groupFold builds the groups of a GROUP BY query. Work is split in two
-// parallel phases: group keys are computed per row over contiguous
-// partitions, then each worker owns the hash shard of groups assigned to
-// it and folds exactly those rows, scanning the shard array in row
-// order. Every group is therefore folded by a single worker in input
-// order, so accumulator contents — including float accumulation order —
-// and the first-appearance output order are independent of the worker
-// count.
-func (ev *Evaluator) groupFold(t *task, q *ir.Query, rows [][]value.Value, aggs []*ir.Agg) ([]*group, error) {
-	w := ev.workersFor(len(rows))
-	keys := make([]string, len(rows))
-	shard := make([]uint8, len(rows))
-	if err := ev.runChunks(w, len(rows), func(lo, hi int) error {
-		var b []byte
-		var pending int64
-		for i := lo; i < hi; i++ {
-			b = b[:0]
-			for _, g := range q.GroupBy {
-				b = append(b, rows[i][g].Key()...)
-				b = append(b, 0)
-			}
-			k := string(b)
-			keys[i] = k
-			shard[i] = uint8(fnv32(k) % uint32(w))
-			if pending++; pending == pollBatchRows {
-				if err := t.charge(ev, "agg.keys", pending); err != nil {
-					return err
-				}
-				pending = 0
-			}
-		}
-		if pending > 0 {
-			return t.charge(ev, "agg.keys", pending)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	type shardOut struct {
-		groups []*group
-		errRow int
-		err    error
-	}
-	outs := make([]shardOut, w)
-	// Each shard charges only the rows it folds (not the full array it
-	// scans for shard membership), so the fold charges sum to len(rows)
-	// at every worker count.
-	runShard := func(s int) {
-		o := &outs[s]
-		index := map[string]*group{}
-		var pending int64
-		for i, row := range rows {
-			if int(shard[i]) != s {
-				continue
-			}
-			g, ok := index[keys[i]]
-			if !ok {
-				g = newGroup(row, aggs, i)
-				index[keys[i]] = g
-				o.groups = append(o.groups, g)
-			}
-			if err := g.fold(row); err != nil {
-				o.errRow, o.err = i, err
-				return
-			}
-			if pending++; pending == pollBatchRows {
-				if err := t.charge(ev, "agg.fold", pending); err != nil {
-					o.errRow, o.err = i, err
-					return
-				}
-				pending = 0
-			}
-		}
-		if pending > 0 {
-			if err := t.charge(ev, "agg.fold", pending); err != nil {
-				o.errRow, o.err = len(rows), err
-			}
-		}
-	}
-	if err := ev.runChunks(w, w, func(lo, hi int) error {
-		for s := lo; s < hi; s++ {
-			runShard(s)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	// The surviving error is the one with the smallest row index — the
-	// error the serial row-by-row fold would have hit first.
-	var err error
-	errRow := -1
-	total := 0
-	for s := range outs {
-		if outs[s].err != nil && (errRow < 0 || outs[s].errRow < errRow) {
-			errRow, err = outs[s].errRow, outs[s].err
-		}
-		total += len(outs[s].groups)
-	}
-	if err != nil {
-		return nil, err
-	}
-	groups := make([]*group, 0, total)
-	for s := range outs {
-		groups = append(groups, outs[s].groups...)
-	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].first < groups[j].first })
-	return groups, nil
 }
 
 // evalScalar evaluates an aggregate-free expression on one row.

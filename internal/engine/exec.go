@@ -33,10 +33,16 @@ type ViewSource interface {
 type Evaluator struct {
 	DB    *DB
 	Views ViewSource
-	// Workers sizes the worker pool of the join and aggregation kernels:
-	// 0 means GOMAXPROCS, 1 forces the serial path. Results are
-	// byte-identical at every setting (see DESIGN.md, "Parallel
-	// execution & search").
+	// Store, when non-nil, replaces DB as the storage backend behind
+	// base-table scans (views still materialize through Views). It is
+	// how the fault harness swaps in an error-injecting backend; see
+	// Storage in storage.go for the contract.
+	Store Storage
+	// Workers sizes the worker pool of the vectorized kernels: 0 means
+	// GOMAXPROCS, 1 forces the serial path. Results are byte-identical
+	// at every setting (see DESIGN.md, "Parallel execution & search"):
+	// workers claim fixed-size morsels whose boundaries depend only on
+	// the input, and per-morsel results commit in morsel order.
 	Workers int
 	// Metrics, when non-nil, receives per-kernel row counters, stage
 	// timers, pool activity and view-cache hit/miss counts, and tags
@@ -49,17 +55,27 @@ type Evaluator struct {
 }
 
 // viewEntry materializes one view at most once, even under concurrent
-// resolution (each waiter blocks on the Once of the shared entry).
+// resolution (each waiter blocks on the Once of the shared entry). The
+// materialized relation is held as a columnar image, ready to bind into
+// scan batches.
 type viewEntry struct {
 	once sync.Once
 	def  *ir.ViewDef
-	rel  *Relation
+	ct   *ColTable
 	err  error
 }
 
 // NewEvaluator builds an evaluator over a database; views may be nil.
 func NewEvaluator(db *DB, views ViewSource) *Evaluator {
 	return &Evaluator{DB: db, Views: views, cache: map[string]*viewEntry{}}
+}
+
+// store returns the active storage backend.
+func (ev *Evaluator) store() Storage {
+	if ev.Store != nil {
+		return ev.Store
+	}
+	return ev.DB
 }
 
 // Exec evaluates the query and returns its result relation. The result's
@@ -70,16 +86,17 @@ func (ev *Evaluator) Exec(q *ir.Query) (*Relation, error) {
 }
 
 // ExecContext evaluates the query under a context. Cancellation and
-// deadline expiry are observed at row-batch granularity inside every
+// deadline expiry are observed at morsel granularity inside every
 // kernel (scan, join, filter, aggregation) and inside the view cache;
 // a budget.Meter attached to the context (budget.WithMeter) caps the
-// total rows processed, including rows spent materializing referenced
-// views. On abort the worker pools drain fully and ExecContext returns
-// a typed *budget.Canceled or *budget.Exceeded — never a partial
-// relation. With Metrics attached the whole evaluation runs under a
-// pprof label naming the query's FROM sources, so CPU and goroutine
-// profiles attribute worker time to the query that spawned it (labels
-// are inherited by child goroutines).
+// total rows processed — including rows spent materializing referenced
+// views — the bytes of columnar data materialized, and the view-cache
+// entries created. On abort the worker pools drain fully and
+// ExecContext returns a typed *budget.Canceled or *budget.Exceeded —
+// never a partial relation. With Metrics attached the whole evaluation
+// runs under a pprof label naming the query's FROM sources, so CPU and
+// goroutine profiles attribute worker time to the query that spawned it
+// (labels are inherited by child goroutines).
 func (ev *Evaluator) ExecContext(ctx context.Context, q *ir.Query) (*Relation, error) {
 	return ev.run(newTask(ctx), q)
 }
@@ -113,31 +130,52 @@ func queryLabel(q *ir.Query) string {
 // exec is the unlabeled evaluation body behind Exec.
 func (ev *Evaluator) exec(t *task, q *ir.Query) (*Relation, error) {
 	ev.Metrics.Counter("engine.exec").Inc()
-	rows, err := ev.joinRows(t, q)
+	b, err := ev.joinBatch(t, q)
 	if err != nil {
 		return nil, err
 	}
+	if b == nil {
+		// A false constant predicate: empty input, full-width empty batch.
+		b = newBatch(q.NumCols())
+	}
 	out := &Relation{Attrs: ir.OutputNames(q)}
 	if q.IsAggregationQuery() {
-		if err := ev.aggregate(t, q, rows, out); err != nil {
+		if err := ev.aggregateBatch(t, q, b, out); err != nil {
 			return nil, err
 		}
 	} else {
-		tuples, err := ev.parMapFlat(t, "project", ev.workersFor(len(rows)), len(rows), func(i int, emit func([]value.Value)) error {
-			row := rows[i]
-			tuple := make([]value.Value, len(q.Select))
+		parts := make([][][]value.Value, morselCount(b.n))
+		err := ev.morselRun(t, "project", ev.workersFor(b.n), b.n, func(m, lo, hi int) error {
+			mb := b.slice(lo, hi)
+			vecs := make([]*Vec, len(q.Select))
 			for k, it := range q.Select {
-				v, err := evalScalar(it.Expr, row)
+				v, err := evalVec(it.Expr, mb)
 				if err != nil {
 					return err
 				}
-				tuple[k] = v
+				vecs[k] = v
 			}
-			emit(tuple)
+			rows := make([][]value.Value, hi-lo)
+			for j := range rows {
+				tuple := make([]value.Value, len(q.Select))
+				for k := range vecs {
+					tuple[k] = vecs[k].Value(j)
+				}
+				rows[j] = tuple
+			}
+			parts[m] = rows
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		tuples := make([][]value.Value, 0, total)
+		for _, p := range parts {
+			tuples = append(tuples, p...)
 		}
 		ev.Metrics.Counter("engine.project.rows").Add(int64(len(tuples)))
 		out.Tuples = tuples
@@ -148,20 +186,36 @@ func (ev *Evaluator) exec(t *task, q *ir.Query) (*Relation, error) {
 	return out, nil
 }
 
-// resolve finds the relation behind a FROM source name. Views are
-// materialized at most once per evaluator: the entry map is guarded by
-// the mutex, and the materialization itself runs under the entry's Once
-// so concurrent resolvers of the same view block instead of recomputing.
+// resolve finds the columnar table behind a FROM source name. Base
+// relations come from the storage backend; each Scan call is observed
+// by the fault injector's storage site and its image is charged against
+// the memory budget. A storage error aborts the operation and is never
+// cached.
 //
-// A materialization aborted by cancellation or budget exhaustion is
-// never memoized: the poisoned entry is dropped so a later resolve
-// retries under its own context and budget. The resolver that ran the
-// aborted materialization returns the transient error (its own context
-// or budget is spent); a resolver that merely waited on another task's
-// aborted entry loops and retries.
-func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
-	if r, ok := ev.DB.Get(name); ok {
-		return r, nil
+// Views are materialized at most once per evaluator: the entry map is
+// guarded by the mutex, and the materialization itself runs under the
+// entry's Once so concurrent resolvers of the same view block instead
+// of recomputing. A materialization aborted by cancellation or budget
+// exhaustion — or poisoned by an injected storage fault — is never
+// memoized: the entry is dropped so a later resolve retries under its
+// own context and budget. The resolver that ran the aborted
+// materialization returns the error (its own context or budget is
+// spent, or its backend is the faulty one); a resolver that merely
+// waited on another task's aborted entry loops and retries.
+func (ev *Evaluator) resolve(t *task, name string) (*ColTable, error) {
+	t.inj.Observe(faultinject.SiteStorage, 1)
+	if err := t.poll(ev, "storage"); err != nil {
+		return nil, err
+	}
+	ct, found, err := ev.store().Scan(name)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if err := t.allocBytes(ev, "storage", ct.Bytes()); err != nil {
+			return nil, err
+		}
+		return ct, nil
 	}
 	key := strings.ToLower(name)
 	t.inj.Observe(faultinject.SiteCache, 1)
@@ -177,10 +231,15 @@ func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
 				ev.mu.Unlock()
 				return nil, fmt.Errorf("engine: no relation or view named %q", name)
 			}
-			v, found := ev.Views.Get(name)
-			if !found {
+			v, foundView := ev.Views.Get(name)
+			if !foundView {
 				ev.mu.Unlock()
 				return nil, fmt.Errorf("engine: no relation or view named %q", name)
+			}
+			if err := t.meter.AddCacheEntries("view_cache", 1); err != nil {
+				ev.mu.Unlock()
+				ev.Metrics.Volatile("engine.err.budget").Inc()
+				return nil, err
 			}
 			e = &viewEntry{def: v}
 			if ev.cache == nil {
@@ -212,7 +271,7 @@ func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
 					return
 				}
 				r.Attrs = append([]string{}, e.def.OutCols...)
-				e.rel = r
+				e.ct = BuildColTable(r)
 			}
 			if ev.Metrics == nil {
 				materialize()
@@ -222,7 +281,7 @@ func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
 				})
 			}
 		})
-		if e.err != nil && budget.IsTransient(e.err) {
+		if e.err != nil && (budget.IsTransient(e.err) || faultinject.IsInjected(e.err)) {
 			// Drop the poisoned entry so the abort is not memoized.
 			ev.mu.Lock()
 			if ev.cache[key] == e {
@@ -240,24 +299,66 @@ func (ev *Evaluator) resolve(t *task, name string) (*Relation, error) {
 			}
 			continue
 		}
-		return e.rel, e.err
+		if e.err != nil {
+			return nil, e.err
+		}
+		if err := t.allocBytes(ev, "view_cache", e.ct.Bytes()); err != nil {
+			return nil, err
+		}
+		return e.ct, nil
 	}
 }
 
-// joinRows evaluates the FROM and WHERE clauses, producing full-width
-// rows indexed by ColID.
-func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
+// chargeRows charges n rows at the named site (with injector
+// observation and cancellation polls at morsel granularity) without
+// doing per-row work — the accounting of a scan that binds columns by
+// reference instead of copying rows.
+func (ev *Evaluator) chargeRows(t *task, site string, n int) error {
+	return ev.morselRun(t, site, 1, n, func(m, lo, hi int) error { return nil })
+}
+
+// neededCols marks every ColID referenced by the query's SELECT, WHERE,
+// GROUP BY, or HAVING clauses; scans prune the rest (they would flow
+// through the pipeline only to be dropped by the projection).
+func neededCols(q *ir.Query) []bool {
+	need := make([]bool, q.NumCols())
+	mark := func(c ir.ColID) { need[c] = true }
+	for _, it := range q.Select {
+		ir.WalkExprCols(it.Expr, mark)
+	}
+	for _, h := range q.Having {
+		ir.WalkExprCols(h.L, mark)
+		ir.WalkExprCols(h.R, mark)
+	}
+	for _, g := range q.GroupBy {
+		mark(g)
+	}
+	for _, p := range q.Where {
+		if !p.L.IsConst {
+			mark(p.L.Col)
+		}
+		if !p.R.IsConst {
+			mark(p.R.Col)
+		}
+	}
+	return need
+}
+
+// joinBatch evaluates the FROM and WHERE clauses into one dense batch
+// over the query's ColID space. A nil batch (with nil error) means a
+// constant predicate was false: the result is empty.
+func (ev *Evaluator) joinBatch(t *task, q *ir.Query) (*Batch, error) {
 	n := len(q.Tables)
-	rels := make([]*Relation, n)
+	cts := make([]*ColTable, n)
 	for i, tab := range q.Tables {
-		r, err := ev.resolve(t, tab.Source)
+		ct, err := ev.resolve(t, tab.Source)
 		if err != nil {
 			return nil, err
 		}
-		if len(r.Attrs) != len(tab.Cols) {
-			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", tab.Source, len(r.Attrs), len(tab.Cols))
+		if len(ct.cols) != len(tab.Cols) {
+			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", tab.Source, len(ct.cols), len(tab.Cols))
 		}
-		rels[i] = r
+		cts[i] = ct
 	}
 
 	// Classify predicates.
@@ -297,40 +398,33 @@ func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 		}
 	}
 
-	// Filter each table, producing full-width rows for that table alone.
-	// The scan is partitioned across workers; per-worker buffers are
-	// concatenated in partition order so the output matches the serial
-	// scan byte for byte.
+	// Scan each table: bind its columns into the ColID space by
+	// reference (pruning unreferenced ones) and run the pushed-down
+	// filters as a vectorized selection, compacting survivors with one
+	// gather. A predicate-free scan copies nothing.
+	need := neededCols(q)
 	width := q.NumCols()
-	filtered := make([][][]value.Value, n)
+	filtered := make([]*Batch, n)
 	swScan := ev.Metrics.Time("engine.scan.ns")
-	for i := range rels {
-		cols := q.Tables[i].Cols
-		tuples := rels[i].Tuples
-		preds := perTable[i]
-		rows, err := ev.parMapFlat(t, "scan", ev.workersFor(len(tuples)), len(tuples), func(j int, emit func([]value.Value)) error {
-			row := make([]value.Value, width)
-			for pos, id := range cols {
-				row[id] = tuples[j][pos]
+	for i := range cts {
+		tb := bindTable(cts[i], q.Tables[i].Cols, width, need)
+		if preds := perTable[i]; len(preds) > 0 {
+			sel, err := ev.filterSel(t, "scan", tb, preds)
+			if err != nil {
+				return nil, err
 			}
-			for _, p := range preds {
-				h, err := predHolds(p, row)
+			if len(sel) < tb.n {
+				tb, err = tb.gather(t, ev, "scan", sel)
 				if err != nil {
-					return err
-				}
-				if !h {
-					return nil
+					return nil, err
 				}
 			}
-			emit(row)
-			return nil
-		})
-		if err != nil {
+		} else if err := ev.chargeRows(t, "scan", tb.n); err != nil {
 			return nil, err
 		}
-		ev.Metrics.Counter("engine.scan.rows").Add(int64(len(tuples)))
-		ev.Metrics.Counter("engine.scan.kept").Add(int64(len(rows)))
-		filtered[i] = rows
+		ev.Metrics.Counter("engine.scan.rows").Add(int64(cts[i].n))
+		ev.Metrics.Counter("engine.scan.kept").Add(int64(tb.n))
+		filtered[i] = tb
 	}
 	swScan.Stop()
 
@@ -341,7 +435,7 @@ func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 	joined := map[int]bool{}
 	pickFirst := 0
 	for i := 1; i < n; i++ {
-		if len(filtered[i]) < len(filtered[pickFirst]) {
+		if filtered[i].n < filtered[pickFirst].n {
 			pickFirst = i
 		}
 	}
@@ -369,7 +463,7 @@ func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 			switch {
 			case conn && !connected:
 				next, connected = i, true
-			case conn == connected && (next == -1 || len(filtered[i]) < len(filtered[next])):
+			case conn == connected && (next == -1 || filtered[i].n < filtered[next].n):
 				next = i
 			}
 		}
@@ -388,7 +482,7 @@ func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 		}
 		pendingEq = stillPending
 
-		merged, err := ev.hashJoin(t, current, filtered[next], keys, tableOf, next, q.Tables[next].Cols)
+		merged, err := ev.hashJoinBatch(t, current, filtered[next], keys, tableOf, next)
 		if err != nil {
 			return nil, err
 		}
@@ -396,127 +490,34 @@ func (ev *Evaluator) joinRows(t *task, q *ir.Query) ([][]value.Value, error) {
 		joined[next] = true
 
 		// Apply residual predicates that are now fully bound.
-		var rest []ir.Pred
+		var nowBound, rest []ir.Pred
 		for _, p := range pendingRes {
 			if (p.L.IsConst || joined[tableOf(p.L.Col)]) && (p.R.IsConst || joined[tableOf(p.R.Col)]) {
-				pred := p
-				rows := current
-				kept, err := ev.parMapFlat(t, "filter", ev.workersFor(len(rows)), len(rows), func(j int, emit func([]value.Value)) error {
-					h, err := predHolds(pred, rows[j])
-					if err != nil {
-						return err
-					}
-					if h {
-						emit(rows[j])
-					}
-					return nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				current = kept
+				nowBound = append(nowBound, p)
 			} else {
 				rest = append(rest, p)
 			}
 		}
 		pendingRes = rest
+		if len(nowBound) > 0 {
+			sel, err := ev.filterSel(t, "filter", current, nowBound)
+			if err != nil {
+				return nil, err
+			}
+			if len(sel) < current.n {
+				current, err = current.gather(t, ev, "filter", sel)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	return current, nil
 }
 
-// keyPair is one equality join key: a column already bound on the left
-// and its counterpart on the table being joined.
-type keyPair struct{ l, r ir.ColID }
-
-// hashJoin joins the accumulated rows with the rows of table `next`
-// using the equality predicates in keys; with no keys it degrades to a
-// cross product. nextCols lists the ColID slots owned by the table being
-// joined, so merging copies exactly those slots. The build side (the
-// incoming table) is indexed serially; the probe side (the accumulated
-// rows) is partitioned across workers, with per-worker buffers merged in
-// partition order so the output order matches the serial join exactly.
-func (ev *Evaluator) hashJoin(t *task, left, right [][]value.Value, keys []ir.Pred, tableOf func(ir.ColID) int, next int, nextCols []ir.ColID) ([][]value.Value, error) {
-	ev.Metrics.Counter("engine.join.probe").Add(int64(len(left)))
-	ev.Metrics.Histogram("engine.join.build_rows").Observe(int64(len(right)))
-	if len(left) == 0 || len(right) == 0 {
-		return nil, nil
-	}
-	workers := ev.workersFor(len(left))
-	if len(keys) == 0 {
-		out, err := ev.parMapFlat(t, "join.cross", workers, len(left), func(i int, emit func([]value.Value)) error {
-			for _, r := range right {
-				emit(mergeRows(left[i], r, nextCols))
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
-		return out, nil
-	}
-	pairs := make([]keyPair, len(keys))
-	for i, p := range keys {
-		l, r := p.L.Col, p.R.Col
-		if tableOf(l) == next {
-			l, r = r, l
-		}
-		pairs[i] = keyPair{l, r}
-	}
-	index := make(map[string][][]value.Value, len(right))
-	var pending int64
-	for _, row := range right {
-		k := joinKey(row, pairs, false)
-		index[k] = append(index[k], row)
-		if pending++; pending == pollBatchRows {
-			if err := t.charge(ev, "join.build", pending); err != nil {
-				return nil, err
-			}
-			pending = 0
-		}
-	}
-	if pending > 0 {
-		if err := t.charge(ev, "join.build", pending); err != nil {
-			return nil, err
-		}
-	}
-	out, err := ev.parMapFlat(t, "join.probe", workers, len(left), func(i int, emit func([]value.Value)) error {
-		for _, r := range index[joinKey(left[i], pairs, true)] {
-			emit(mergeRows(left[i], r, nextCols))
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	ev.Metrics.Counter("engine.join.rows").Add(int64(len(out)))
-	return out, nil
-}
-
-func joinKey(row []value.Value, pairs []keyPair, left bool) string {
-	key := ""
-	for _, p := range pairs {
-		c := p.r
-		if left {
-			c = p.l
-		}
-		key += row[c].Key() + "\x00"
-	}
-	return key
-}
-
-// mergeRows combines a full-width accumulated row with a row that owns
-// exactly the slots in bCols.
-func mergeRows(a, b []value.Value, bCols []ir.ColID) []value.Value {
-	out := make([]value.Value, len(a))
-	copy(out, a)
-	for _, c := range bCols {
-		out[c] = b[c]
-	}
-	return out
-}
-
-// predHolds evaluates a WHERE predicate on a full-width row.
+// predHolds evaluates a WHERE predicate on a full-width row. It is the
+// row-at-a-time reference semantics of the vectorized filter kernel
+// (see TestFilterKernelMatchesReference).
 func predHolds(p ir.Pred, row []value.Value) (bool, error) {
 	l := termValue(p.L, row)
 	r := termValue(p.R, row)

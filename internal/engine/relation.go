@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"aggview/internal/value"
 )
@@ -113,21 +114,30 @@ func (r *Relation) Sorted() *Relation {
 }
 
 // DB is a collection of named relations (base tables and materialized
-// views), looked up case-insensitively.
+// views), looked up case-insensitively. It implements Storage (see
+// storage.go): scans serve a lazily built, cached columnar image of
+// each relation.
 type DB struct {
 	rels map[string]*Relation
+
+	mu   sync.Mutex          // guards cols; rels follows the old rule: no Put during queries
+	cols map[string]*ColTable // cached columnar images, by lowercased name
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
 
-// Put stores a relation under a name, replacing any previous one.
+func lowerKey(name string) string { return strings.ToLower(name) }
+
+// Put stores a relation under a name, replacing any previous one and
+// dropping its cached columnar image.
 func (db *DB) Put(name string, r *Relation) {
-	db.rels[strings.ToLower(name)] = r
+	db.rels[lowerKey(name)] = r
+	db.Invalidate(name)
 }
 
 // Get looks up a relation by name.
 func (db *DB) Get(name string) (*Relation, bool) {
-	r, ok := db.rels[strings.ToLower(name)]
+	r, ok := db.rels[lowerKey(name)]
 	return r, ok
 }

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"aggview/internal/faultinject"
+)
+
+// ColTable is the columnar image of one stored relation: one typed
+// vector per attribute, in schema order. Images are immutable; the
+// engine shares their vectors into scan batches without copying.
+type ColTable struct {
+	n     int
+	cols  []*Vec
+	bytes int64
+}
+
+// NumRows returns the number of rows in the image.
+func (c *ColTable) NumRows() int { return c.n }
+
+// Bytes returns the estimated payload footprint, charged against
+// budget.Limits.MaxMemBytes once per operation that scans the table.
+func (c *ColTable) Bytes() int64 { return c.bytes }
+
+// BuildColTable converts a row-major relation into its columnar image.
+func BuildColTable(r *Relation) *ColTable {
+	ct := &ColTable{n: len(r.Tuples), cols: make([]*Vec, len(r.Attrs))}
+	for pos := range r.Attrs {
+		v := colVecOf(r.Tuples, pos)
+		ct.cols[pos] = v
+		ct.bytes += v.bytes()
+	}
+	return ct
+}
+
+// Storage resolves FROM sources to columnar tables; it is the engine's
+// data-access seam. The in-memory *DB is the first implementation;
+// FaultStorage, which fails scans with typed I/O-style errors, is the
+// second. Implementations must be safe for concurrent Scan calls — the
+// evaluator consults storage from concurrent Exec calls.
+//
+// Scan returns (nil, false, nil) for an unknown name, in which case the
+// evaluator falls back to its view source. A non-nil error models an
+// I/O failure: the evaluator aborts the operation with it and never
+// caches a result derived from it.
+type Storage interface {
+	Scan(name string) (*ColTable, bool, error)
+}
+
+// Scan implements Storage over the database's relations, building each
+// columnar image lazily on first scan and caching it until the relation
+// is replaced (Put) or explicitly invalidated. A cached image is reused
+// only while the relation's row count is unchanged; callers that mutate
+// tuples in place without changing the count (incremental view
+// maintenance, or embedders writing Relation.Tuples directly) must call
+// Invalidate or re-Put the relation.
+func (db *DB) Scan(name string) (*ColTable, bool, error) {
+	r, ok := db.Get(name)
+	if !ok {
+		return nil, false, nil
+	}
+	key := lowerKey(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ct, ok := db.cols[key]; ok && ct.n == len(r.Tuples) {
+		return ct, true, nil
+	}
+	ct := BuildColTable(r)
+	if db.cols == nil {
+		db.cols = map[string]*ColTable{}
+	}
+	db.cols[key] = ct
+	return ct, true, nil
+}
+
+// Invalidate drops the cached columnar image of a relation whose tuples
+// were mutated in place, so the next scan rebuilds it.
+func (db *DB) Invalidate(name string) {
+	db.mu.Lock()
+	delete(db.cols, lowerKey(name))
+	db.mu.Unlock()
+}
+
+// FaultStorage wraps a Storage and fails the k-th Scan call — and every
+// later one — with a typed *faultinject.Injected error, modelling a
+// storage backend that goes away mid-operation. The countdown is
+// deterministic: scans are issued serially by the evaluator in table
+// order, so for a fixed workload the same scan fails every run. It is
+// the error-mode counterpart of the cancellation injector, and the
+// oracle's storage fault pass holds the engine to the same contract
+// under it: exact bag or clean typed error, never a partial result.
+type FaultStorage struct {
+	inner     Storage
+	remaining atomic.Int64
+}
+
+// NewFaultStorage returns a storage that fails from the k-th Scan on
+// (k <= 1 fails every scan).
+func NewFaultStorage(inner Storage, k int64) *FaultStorage {
+	fs := &FaultStorage{inner: inner}
+	fs.remaining.Store(k)
+	return fs
+}
+
+// Scan implements Storage.
+func (f *FaultStorage) Scan(name string) (*ColTable, bool, error) {
+	if f.remaining.Add(-1) <= 0 {
+		return nil, false, &faultinject.Injected{Site: faultinject.SiteStorage, Op: "scan " + name}
+	}
+	return f.inner.Scan(name)
+}

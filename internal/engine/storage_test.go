@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aggview/internal/budget"
+	"aggview/internal/faultinject"
+	"aggview/internal/ir"
+)
+
+// TestFaultStorageContract holds the engine to the I/O-error contract:
+// against a backend whose k-th scan (and every later one) fails, every
+// execution ends in either the exact correct bag or a clean typed
+// *faultinject.Injected error — never a partial result and never an
+// untyped failure.
+func TestFaultStorageContract(t *testing.T) {
+	db, reg, source := ctxFixture(t)
+	for _, q := range ctxQueries(t, source) {
+		want, err := NewEvaluator(db, reg).Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawError, sawSuccess := false, false
+		for _, k := range []int64{1, 2, 3, 5, 100} {
+			for _, workers := range []int{1, 0} {
+				ev := NewEvaluator(db, reg)
+				ev.Store = NewFaultStorage(db, k)
+				ev.Workers = workers
+				got, err := ev.ExecContext(context.Background(), q)
+				if err != nil {
+					if !faultinject.IsInjected(err) {
+						t.Fatalf("k=%d workers=%d: untyped error under storage fault: %v", k, workers, err)
+					}
+					if got != nil {
+						t.Fatalf("k=%d workers=%d: partial result alongside the error", k, workers)
+					}
+					sawError = true
+					continue
+				}
+				if !MultisetEqual(got, want) {
+					t.Fatalf("k=%d workers=%d: result differs from the clean run", k, workers)
+				}
+				sawSuccess = true
+			}
+		}
+		if !sawError {
+			t.Fatalf("query %v: no countdown ever tripped (k=1 must fail the first scan)", q.Tables)
+		}
+		if !sawSuccess {
+			t.Fatalf("query %v: even k=100 failed; the fixture issues fewer scans than that", q.Tables)
+		}
+	}
+}
+
+// TestFaultStorageErrorNotMemoized pins that a view materialization
+// aborted by a storage fault is not cached: the same evaluator succeeds
+// once the backend recovers.
+func TestFaultStorageErrorNotMemoized(t *testing.T) {
+	db, reg, source := ctxFixture(t)
+	q := ctxQueries(t, source)[3] // reads VSum
+
+	ev := NewEvaluator(db, reg)
+	ev.Store = NewFaultStorage(db, 1)
+	if _, err := ev.ExecContext(context.Background(), q); !faultinject.IsInjected(err) {
+		t.Fatalf("want injected storage error, got %v", err)
+	}
+	ev.Store = nil // backend recovers
+	got, err := ev.ExecContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("recovered evaluator still failing: %v", err)
+	}
+	want, err := NewEvaluator(db, reg).Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MultisetEqual(got, want) {
+		t.Fatal("result after recovery differs from the clean run")
+	}
+}
+
+// TestExecContextMemBudget exercises the memory dimension of the
+// resource budget: a tiny MaxMemBytes trips a typed Exceeded from the
+// columnar allocator, a generous one changes nothing about the result.
+func TestExecContextMemBudget(t *testing.T) {
+	db, reg, source := ctxFixture(t)
+	q := ctxQueries(t, source)[2] // join: scans, gathers, join output
+
+	m := budget.NewMeter(budget.Limits{MaxMemBytes: 64})
+	out, err := NewEvaluator(db, reg).ExecContext(budget.WithMeter(context.Background(), m), q)
+	if out != nil {
+		t.Fatal("memory-tripped exec returned a partial relation")
+	}
+	var e *budget.Exceeded
+	if !errors.As(err, &e) || e.Resource != "memory" || e.Limit != 64 {
+		t.Fatalf("want memory Exceeded with limit 64, got %v", err)
+	}
+
+	want, err := NewEvaluator(db, reg).Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = budget.NewMeter(budget.Limits{MaxMemBytes: 1 << 40})
+	got, err := NewEvaluator(db, reg).ExecContext(budget.WithMeter(context.Background(), m), q)
+	if err != nil {
+		t.Fatalf("generous memory budget tripped: %v", err)
+	}
+	if !MultisetEqual(got, want) {
+		t.Fatal("memory-budgeted result differs from unbudgeted result")
+	}
+	if m.Mem() == 0 {
+		t.Fatal("meter charged no bytes")
+	}
+}
+
+// TestExecContextCacheEntriesBudget exercises the view-cache dimension:
+// a query over two distinct views needs two cache entries, so a limit of
+// one trips with a typed Exceeded while a limit of two succeeds.
+func TestExecContextCacheEntriesBudget(t *testing.T) {
+	db, reg, source := ctxFixture(t)
+	tables := ir.MapSource{"R1": {"A", "B"}, "R2": {"C", "D"}}
+	vd, err := ir.NewViewDef("VCnt", ir.MustBuild("SELECT C, COUNT(D) FROM R2 GROUP BY C", tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(vd); err != nil {
+		t.Fatal(err)
+	}
+	source = ir.MultiSource{tables, reg}
+	q := ir.MustBuild("SELECT v.A, w.count_D FROM VSum v, VCnt w WHERE v.A = w.C", source)
+
+	m := budget.NewMeter(budget.Limits{MaxCacheEntries: 1})
+	out, err := NewEvaluator(db, reg).ExecContext(budget.WithMeter(context.Background(), m), q)
+	if out != nil {
+		t.Fatal("cache-tripped exec returned a partial relation")
+	}
+	var e *budget.Exceeded
+	if !errors.As(err, &e) || e.Resource != "cache_entries" || e.Limit != 1 {
+		t.Fatalf("want cache_entries Exceeded with limit 1, got %v", err)
+	}
+
+	m = budget.NewMeter(budget.Limits{MaxCacheEntries: 2})
+	if _, err := NewEvaluator(db, reg).ExecContext(budget.WithMeter(context.Background(), m), q); err != nil {
+		t.Fatalf("two entries should fit a limit of two: %v", err)
+	}
+}

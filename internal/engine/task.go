@@ -51,6 +51,18 @@ func (t *task) charge(ev *Evaluator, site string, n int64) error {
 	return nil
 }
 
+// allocBytes charges n bytes of columnar allocation against the memory
+// budget (budget.Limits.MaxMemBytes). Allocation sizes are fixed by the
+// data, so whether an operation trips its memory budget is independent
+// of the worker count.
+func (t *task) allocBytes(ev *Evaluator, site string, n int64) error {
+	if err := t.meter.AddMem(site, n); err != nil {
+		ev.Metrics.Volatile("engine.err.budget").Inc()
+		return err
+	}
+	return nil
+}
+
 // poll checks cancellation only (no row charge), for loops whose work
 // is not row consumption.
 func (t *task) poll(ev *Evaluator, site string) error {

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// aggMode classifies how the vectorized fold feeds one aggregate.
+type aggMode uint8
+
+const (
+	aggModeTick     aggMode = iota // COUNT(*) / bare COUNT: count rows only
+	aggModeCountArg                // COUNT(arg): count rows, check arg on the representative row
+	aggModeVal                     // MIN/MAX/SUM/AVG(arg): absorb the evaluated argument
+)
+
+// vgroup is one group's partial state within a morsel (and, after the
+// merge, globally): the absolute index of its first row, its key, and
+// one accumulator per aggregate occurrence.
+type vgroup struct {
+	first int
+	ikey  int64
+	skey  string
+	accs  []accum
+}
+
+// groupTable is a deterministic group index: first-appearance ordered
+// list plus a key lookup. Single-int-column grouping keys on the int64
+// payload directly; everything else keys on the canonical Value.Key
+// byte encoding (so 1 and 1.0 group together, as in the row engine).
+type groupTable struct {
+	useInt bool
+	ints   map[int64]*vgroup
+	strs   map[string]*vgroup
+	list   []*vgroup
+}
+
+func newGroupTable(useInt bool) *groupTable {
+	gt := &groupTable{useInt: useInt}
+	if useInt {
+		gt.ints = map[int64]*vgroup{}
+	} else {
+		gt.strs = map[string]*vgroup{}
+	}
+	return gt
+}
+
+// aggregateBatch evaluates the GROUP BY / HAVING / SELECT pipeline of an
+// aggregation query over the joined batch, appending result tuples to
+// out. Groups are folded morsel-parallel into per-morsel partial states
+// that merge serially in morsel index order — a fixed merge tree, so
+// accumulator contents (including float accumulation order) and the
+// first-appearance output order are byte-identical at every worker
+// count. A query without GROUP BY is the single-group case of the same
+// path; an empty input yields no groups (see the package comment for
+// this documented simplification).
+func (ev *Evaluator) aggregateBatch(t *task, q *ir.Query, b *Batch, out *Relation) error {
+	sw := ev.Metrics.Time("engine.agg.ns")
+	defer sw.Stop()
+	ev.Metrics.Counter("engine.agg.rows").Add(int64(b.n))
+	aggs, aggIdx := collectAggs(q)
+	var groups []*group
+	if b.n > 0 {
+		vgs, err := ev.groupFoldBatch(t, q, b, aggs)
+		if err != nil {
+			return err
+		}
+		groups = make([]*group, len(vgs))
+		for gi, vg := range vgs {
+			groups[gi] = &group{rep: b.rowValues(vg.first), accs: vg.accs, first: vg.first}
+		}
+	}
+	ev.Metrics.Counter("engine.agg.groups").Add(int64(len(groups)))
+
+	// COUNT(arg) counts rows (no NULLs), but the argument must still be
+	// evaluated once per group to surface reference errors — the row
+	// engine did so on each group's first row, which is its
+	// representative here.
+	for _, g := range groups {
+		for ai, a := range aggs {
+			if g.accs[ai].arg != nil && a.Func == ir.AggCount {
+				if _, err := evalScalar(g.accs[ai].arg, g.rep); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for _, g := range groups {
+		keep := true
+		for _, h := range q.Having {
+			l, err := evalGrouped(h.L, g, aggIdx)
+			if err != nil {
+				return err
+			}
+			r, err := evalGrouped(h.R, g, aggIdx)
+			if err != nil {
+				return err
+			}
+			ok, err := compare(h.Op, l, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		tuple := make([]value.Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := evalGrouped(it.Expr, g, aggIdx)
+			if err != nil {
+				return err
+			}
+			tuple[i] = v
+		}
+		out.Tuples = append(out.Tuples, tuple)
+	}
+	return nil
+}
+
+// cellValue boxes b's cell (col, i), reading the zero Value from
+// unbound slots like the row engine did.
+func cellValue(b *Batch, col ir.ColID, i int) value.Value {
+	if v := b.cols[col]; v != nil {
+		return v.Value(i)
+	}
+	return value.Value{}
+}
+
+// groupFoldBatch builds the groups of an aggregation query from a
+// non-empty batch. Each morsel evaluates the aggregate arguments as
+// vectors over its row range, folds its rows into a private group
+// table, and commits the table to its morsel slot; the partial states
+// then merge serially in morsel index order. Group order is global
+// first appearance; each accumulator absorbs its morsel's rows in row
+// order and partials merge in morsel order, so the fold tree — hence
+// every accumulated value — is fixed by the input alone. The serial
+// path runs the identical per-morsel code inline.
+func (ev *Evaluator) groupFoldBatch(t *task, q *ir.Query, b *Batch, aggs []*ir.Agg) ([]*vgroup, error) {
+	modes := make([]aggMode, len(aggs))
+	for i, a := range aggs {
+		switch {
+		case a.Star || a.Arg == nil:
+			modes[i] = aggModeTick
+		case a.Func == ir.AggCount:
+			modes[i] = aggModeCountArg
+		default:
+			modes[i] = aggModeVal
+		}
+	}
+	useInt := len(q.GroupBy) == 1 &&
+		b.cols[q.GroupBy[0]] != nil && b.cols[q.GroupBy[0]].kind == value.KindInt
+	var keyInts []int64
+	if useInt {
+		keyInts = b.cols[q.GroupBy[0]].ints
+	}
+
+	parts := make([]*groupTable, morselCount(b.n))
+	err := ev.morselRun(t, "agg.fold", ev.workersFor(b.n), b.n, func(m, lo, hi int) error {
+		mb := b.slice(lo, hi)
+		argVecs := make([]*Vec, len(aggs))
+		for ai, a := range aggs {
+			if modes[ai] == aggModeVal {
+				v, err := evalVec(a.Arg, mb)
+				if err != nil {
+					return err
+				}
+				argVecs[ai] = v
+			}
+		}
+		gt := newGroupTable(useInt)
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			var g *vgroup
+			if useInt {
+				k := keyInts[i]
+				g = gt.ints[k]
+				if g == nil {
+					g = &vgroup{first: i, ikey: k, accs: newAccs(aggs)}
+					gt.ints[k] = g
+					gt.list = append(gt.list, g)
+				}
+			} else {
+				buf = buf[:0]
+				for _, gc := range q.GroupBy {
+					buf = cellValue(b, gc, i).AppendKey(buf)
+					buf = append(buf, 0)
+				}
+				g = gt.strs[string(buf)]
+				if g == nil {
+					k := string(buf)
+					g = &vgroup{first: i, skey: k, accs: newAccs(aggs)}
+					gt.strs[k] = g
+					gt.list = append(gt.list, g)
+				}
+			}
+			for ai := range g.accs {
+				ac := &g.accs[ai]
+				if modes[ai] == aggModeVal {
+					if err := ac.absorb(argVecs[ai].Value(i - lo)); err != nil {
+						return err
+					}
+				} else {
+					ac.rows++
+				}
+			}
+		}
+		parts[m] = gt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial merge in morsel index order: unseen groups are adopted
+	// (keeping their first-row index and accumulated state), seen ones
+	// merge accumulator-wise. Morsels hand out increasing row ranges, so
+	// adoption order is global first-appearance order — no sort needed.
+	global := newGroupTable(useInt)
+	for _, gt := range parts {
+		for _, g := range gt.list {
+			var tgt *vgroup
+			if useInt {
+				tgt = global.ints[g.ikey]
+			} else {
+				tgt = global.strs[g.skey]
+			}
+			if tgt == nil {
+				if useInt {
+					global.ints[g.ikey] = g
+				} else {
+					global.strs[g.skey] = g
+				}
+				global.list = append(global.list, g)
+				continue
+			}
+			for ai := range tgt.accs {
+				if err := tgt.accs[ai].merge(&g.accs[ai]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := t.poll(ev, "agg.merge"); err != nil {
+			return nil, err
+		}
+	}
+	return global.list, nil
+}

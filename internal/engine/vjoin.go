@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"aggview/internal/ir"
+	"aggview/internal/value"
+)
+
+// joinPartitions is the number of hash partitions the build side is
+// split into. Partitioning keeps each hash table small (cache-resident
+// for the common build sizes) and gives the probe a cheap first-level
+// radix split; it must be a power of two.
+const joinPartitions = 8
+
+// mix64 is the splitmix64 finalizer, used to spread integer join keys
+// across partitions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// fnv32b hashes a byte-encoded join key (FNV-1a).
+func fnv32b(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// keyPair is one equality join key: a column already bound on the left
+// and its counterpart on the table being joined.
+type keyPair struct{ l, r ir.ColID }
+
+// appendPairKey byte-encodes one side's join key for row i using the
+// same canonical encoding as Value.Key, so cross-kind numeric equality
+// (1 joins 1.0) matches the row-at-a-time engine exactly.
+func appendPairKey(dst []byte, b *Batch, pairs []keyPair, left bool, i int) []byte {
+	for _, p := range pairs {
+		c := p.r
+		if left {
+			c = p.l
+		}
+		var v value.Value
+		if vec := b.cols[c]; vec != nil {
+			v = vec.Value(i)
+		}
+		dst = v.AppendKey(dst)
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// joinIdx is one morsel's matched row pairs: output row j joins left
+// row l[j] with right row r[j].
+type joinIdx struct {
+	l, r []int32
+}
+
+// hashJoinBatch joins the accumulated batch with the scan batch of
+// table `next` using the equality predicates in keys; with no keys it
+// degrades to a cross product. The build side (the incoming table) is
+// split into per-partition hash tables mapping key to build-row indices
+// in row order; the probe side is swept in morsels, each collecting its
+// matches left-major into a private index pair committed to its morsel
+// slot. Slots concatenate in morsel order and one gather per side
+// materializes the output columns, so the output rows — left-major,
+// build rows in insertion order — are byte-identical to the serial
+// nested probe at every worker count.
+func (ev *Evaluator) hashJoinBatch(t *task, left, right *Batch, keys []ir.Pred, tableOf func(ir.ColID) int, next int) (*Batch, error) {
+	ev.Metrics.Counter("engine.join.probe").Add(int64(left.n))
+	ev.Metrics.Histogram("engine.join.build_rows").Observe(int64(right.n))
+
+	var lIdx, rIdx []int32
+	switch {
+	case left.n == 0 || right.n == 0:
+		// No matches; fall through to bind an empty output batch.
+	case len(keys) == 0:
+		// Cross product, left-major.
+		parts := make([]joinIdx, morselCount(left.n))
+		err := ev.morselRun(t, "join.cross", ev.workersFor(left.n), left.n, func(m, lo, hi int) error {
+			p := joinIdx{
+				l: make([]int32, 0, (hi-lo)*right.n),
+				r: make([]int32, 0, (hi-lo)*right.n),
+			}
+			for i := lo; i < hi; i++ {
+				for j := 0; j < right.n; j++ {
+					p.l = append(p.l, int32(i))
+					p.r = append(p.r, int32(j))
+				}
+			}
+			parts[m] = p
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		lIdx, rIdx = concatJoinIdx(parts)
+	default:
+		pairs := make([]keyPair, len(keys))
+		for i, p := range keys {
+			l, r := p.L.Col, p.R.Col
+			if tableOf(l) == next {
+				l, r = r, l
+			}
+			pairs[i] = keyPair{l, r}
+		}
+		var err error
+		lIdx, rIdx, err = ev.probeJoin(t, left, right, pairs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Batch{n: len(lIdx), cols: make([]*Vec, len(left.cols))}
+	for id, v := range left.cols {
+		if v == nil {
+			continue
+		}
+		g := v.gather(lIdx)
+		if err := t.allocBytes(ev, "join", g.bytes()); err != nil {
+			return nil, err
+		}
+		out.cols[id] = g
+	}
+	for id, v := range right.cols {
+		if v == nil {
+			continue
+		}
+		g := v.gather(rIdx)
+		if err := t.allocBytes(ev, "join", g.bytes()); err != nil {
+			return nil, err
+		}
+		out.cols[id] = g
+	}
+	ev.Metrics.Counter("engine.join.rows").Add(int64(out.n))
+	return out, nil
+}
+
+// probeJoin runs the keyed build and probe phases, returning matched
+// row index pairs in deterministic (left-major, insertion-order) order.
+func (ev *Evaluator) probeJoin(t *task, left, right *Batch, pairs []keyPair) ([]int32, []int32, error) {
+	// Fast path: a single join key over int columns on both sides keys
+	// directly on the int64 payload. This is safe only when both vectors
+	// are uniformly KindInt — with a float on either side the canonical
+	// key encoding must unify 1 and 1.0.
+	intKeys := len(pairs) == 1 &&
+		left.cols[pairs[0].l] != nil && left.cols[pairs[0].l].kind == value.KindInt &&
+		right.cols[pairs[0].r] != nil && right.cols[pairs[0].r].kind == value.KindInt
+
+	// Build phase 1 (parallel): partition ids, plus byte-encoded keys on
+	// the generic path.
+	pids := make([]uint8, right.n)
+	var rkeys []string
+	if !intKeys {
+		rkeys = make([]string, right.n)
+	}
+	var rints []int64
+	if intKeys {
+		rints = right.cols[pairs[0].r].ints
+	}
+	err := ev.morselRun(t, "join.build", ev.workersFor(right.n), right.n, func(m, lo, hi int) error {
+		if intKeys {
+			for j := lo; j < hi; j++ {
+				pids[j] = uint8(mix64(uint64(rints[j])) & (joinPartitions - 1))
+			}
+			return nil
+		}
+		var buf []byte
+		for j := lo; j < hi; j++ {
+			buf = appendPairKey(buf[:0], right, pairs, false, j)
+			rkeys[j] = string(buf)
+			pids[j] = uint8(fnv32b(buf) & (joinPartitions - 1))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Build phase 2 (serial): per-partition tables, build rows appended
+	// in row order so probe matches replay insertion order.
+	var intMaps []map[int64][]int32
+	var strMaps []map[string][]int32
+	if intKeys {
+		intMaps = make([]map[int64][]int32, joinPartitions)
+		for p := range intMaps {
+			intMaps[p] = map[int64][]int32{}
+		}
+		for j := 0; j < right.n; j++ {
+			m := intMaps[pids[j]]
+			m[rints[j]] = append(m[rints[j]], int32(j))
+		}
+	} else {
+		strMaps = make([]map[string][]int32, joinPartitions)
+		for p := range strMaps {
+			strMaps[p] = map[string][]int32{}
+		}
+		for j := 0; j < right.n; j++ {
+			m := strMaps[pids[j]]
+			m[rkeys[j]] = append(m[rkeys[j]], int32(j))
+		}
+	}
+	if err := t.poll(ev, "join.build"); err != nil {
+		return nil, nil, err
+	}
+
+	// Probe phase (parallel morsels over the left side).
+	var lints []int64
+	if intKeys {
+		lints = left.cols[pairs[0].l].ints
+	}
+	parts := make([]joinIdx, morselCount(left.n))
+	err = ev.morselRun(t, "join.probe", ev.workersFor(left.n), left.n, func(m, lo, hi int) error {
+		var p joinIdx
+		if intKeys {
+			for i := lo; i < hi; i++ {
+				k := lints[i]
+				for _, j := range intMaps[mix64(uint64(k))&(joinPartitions-1)][k] {
+					p.l = append(p.l, int32(i))
+					p.r = append(p.r, j)
+				}
+			}
+		} else {
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				buf = appendPairKey(buf[:0], left, pairs, true, i)
+				for _, j := range strMaps[fnv32b(buf)&(joinPartitions-1)][string(buf)] {
+					p.l = append(p.l, int32(i))
+					p.r = append(p.r, j)
+				}
+			}
+		}
+		parts[m] = p
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	l, r := concatJoinIdx(parts)
+	return l, r, nil
+}
+
+// concatJoinIdx concatenates per-morsel match pairs in morsel order.
+func concatJoinIdx(parts []joinIdx) ([]int32, []int32) {
+	total := 0
+	for _, p := range parts {
+		total += len(p.l)
+	}
+	l := make([]int32, 0, total)
+	r := make([]int32, 0, total)
+	for _, p := range parts {
+		l = append(l, p.l...)
+		r = append(r, p.r...)
+	}
+	return l, r
+}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -90,26 +91,29 @@ func header(w io.Writer, id, title, claim string) {
 	fmt.Fprintf(w, "## %s — %s\n\n*Claim:* %s\n\n", id, title, claim)
 }
 
-// All runs every experiment. quick shrinks scales so the suite finishes
-// in seconds (used by tests); the full scales back EXPERIMENTS.md.
-func All(w io.Writer, quick bool) {
-	E1Telco(w, quick)
-	E2ConjView(w, quick)
-	E3Coalesce(w, quick)
-	E4Multiplicity(w, quick)
-	E5MultiView(w)
-	E6SearchCost(w, quick)
-	E7Keys(w)
+// All runs every experiment under ctx: cancellation or deadline expiry
+// propagates into every engine execution and rewrite search, so a
+// driver can bound the whole suite without killing the process. quick
+// shrinks scales so the suite finishes in seconds (used by tests); the
+// full scales back EXPERIMENTS.md.
+func All(ctx context.Context, w io.Writer, quick bool) {
+	E1Telco(ctx, w, quick)
+	E2ConjView(ctx, w, quick)
+	E3Coalesce(ctx, w, quick)
+	E4Multiplicity(ctx, w, quick)
+	E5MultiView(ctx, w)
+	E6SearchCost(ctx, w, quick)
+	E7Keys(ctx, w)
 	E8Negative(w)
 	E9Closure(w, quick)
 	E10Having(w)
-	E11Maintenance(w, quick)
-	E12Advisor(w, quick)
+	E11Maintenance(ctx, w, quick)
+	E12Advisor(ctx, w, quick)
 	E13Baseline(w)
 }
 
 // telcoSystem builds the Example 1.1 system with a materialized V1.
-func telcoSystem(calls int) *aggview.System {
+func telcoSystem(ctx context.Context, calls int) *aggview.System {
 	s := aggview.New()
 	s.Catalog = datagen.TelcoCatalog()
 	s.AdoptDB(datagen.Telco(datagen.TelcoConfig{Calls: calls, Seed: 1}),
@@ -119,7 +123,7 @@ func telcoSystem(calls int) *aggview.System {
 		FROM Calls, Calling_Plans
 		WHERE Calls.Plan_Id = Calling_Plans.Plan_Id
 		GROUP BY Calls.Plan_Id, Plan_Name, Month, Year`)
-	if _, err := s.Materialize("V1"); err != nil {
+	if _, err := s.MaterializeContext(ctx, "V1"); err != nil {
 		panic(err)
 	}
 	return s
@@ -135,7 +139,7 @@ const TelcoQuery = `
 
 // E1Telco sweeps the Calls cardinality and reports direct versus
 // rewritten evaluation of Example 1.1 (table T1).
-func E1Telco(w io.Writer, quick bool) {
+func E1Telco(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E1", "Motivating example (Ex. 1.1)",
 		"evaluating Q' over V1 is orders of magnitude faster than Q over Calls, and the gap grows with |Calls|")
 	scales := []int{10000, 30000, 100000, 300000}
@@ -144,8 +148,8 @@ func E1Telco(w io.Writer, quick bool) {
 	}
 	t := newTable("|Calls|", "|V1|", "direct", "rewritten", "speedup")
 	for _, n := range scales {
-		s := telcoSystem(n)
-		direct, rewritten, v1 := RunTelco(s)
+		s := telcoSystem(ctx, n)
+		direct, rewritten, v1 := RunTelco(ctx, s)
 		t.row(n, v1, direct, rewritten, float64(direct)/float64(rewritten))
 	}
 	t.flush(w)
@@ -153,17 +157,17 @@ func E1Telco(w io.Writer, quick bool) {
 
 // RunTelco measures one scale point of E1: it returns the direct time,
 // the rewritten time, and |V1|.
-func RunTelco(s *aggview.System) (direct, rewritten time.Duration, v1Rows int) {
+func RunTelco(ctx context.Context, s *aggview.System) (direct, rewritten time.Duration, v1Rows int) {
 	q, err := s.Parse(TelcoQuery)
 	if err != nil {
 		panic(err)
 	}
-	rws, err := s.Rewritings(TelcoQuery)
+	rws, err := s.RewritingsContext(ctx, TelcoQuery)
 	if err != nil || len(rws) == 0 {
 		panic("telco rewriting missing")
 	}
 	ev := func(query *ir.Query) {
-		if _, err := engine.NewEvaluator(s.DB, s.Views).Exec(query); err != nil {
+		if _, err := engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, query); err != nil {
 			panic(err)
 		}
 	}
@@ -175,7 +179,7 @@ func RunTelco(s *aggview.System) (direct, rewritten time.Duration, v1Rows int) {
 
 // E2ConjView measures conjunctive-view rewriting (Theorem 3.1, the
 // Example 3.1 shape) at scale (table T2).
-func E2ConjView(w io.Writer, quick bool) {
+func E2ConjView(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E2", "Conjunctive views (Thm 3.1, Ex. 3.1)",
 		"rewritings over a selective materialized join view are multiset-equivalent and faster")
 	scales := []int{10000, 50000, 200000}
@@ -184,8 +188,8 @@ func E2ConjView(w io.Writer, quick bool) {
 	}
 	t := newTable("|R1|", "|V|", "direct", "rewritten", "speedup", "equal")
 	for _, n := range scales {
-		s := conjSystem(n)
-		direct, rewritten, vRows, equal := RunConjView(s)
+		s := conjSystem(ctx, n)
+		direct, rewritten, vRows, equal := RunConjView(ctx, s)
 		t.row(n, vRows, direct, rewritten, float64(direct)/float64(rewritten), equal)
 	}
 	t.flush(w)
@@ -193,26 +197,26 @@ func E2ConjView(w io.Writer, quick bool) {
 
 const conjQuery = "SELECT A, SUM(B) FROM R1, R2 WHERE A = C AND B = 6 AND D = 6 GROUP BY A"
 
-func conjSystem(n int) *aggview.System {
+func conjSystem(ctx context.Context, n int) *aggview.System {
 	s := aggview.New()
 	s.Catalog = datagen.R1R2Catalog(false)
 	// R2 stays small and the domain wide, so the materialized join view
 	// is selective (about n/16 rows) rather than exploding.
 	s.AdoptDB(datagen.R1R2(datagen.R1R2Config{R1Rows: n, R2Rows: 64, Domain: 32, Seed: 2}), "R1", "R2")
 	s.MustDefineView("V31", "SELECT C, D FROM R1, R2 WHERE A = C AND B = D")
-	if _, err := s.Materialize("V31"); err != nil {
+	if _, err := s.MaterializeContext(ctx, "V31"); err != nil {
 		panic(err)
 	}
 	return s
 }
 
 // RunConjView measures one scale point of E2.
-func RunConjView(s *aggview.System) (direct, rewritten time.Duration, vRows int, equal bool) {
+func RunConjView(ctx context.Context, s *aggview.System) (direct, rewritten time.Duration, vRows int, equal bool) {
 	q, err := s.Parse(conjQuery)
 	if err != nil {
 		panic(err)
 	}
-	rws, err := s.Rewritings(conjQuery)
+	rws, err := s.RewritingsContext(ctx, conjQuery)
 	if err != nil {
 		panic(err)
 	}
@@ -227,13 +231,13 @@ func RunConjView(s *aggview.System) (direct, rewritten time.Duration, vRows int,
 	}
 	var d1, d2 *engine.Relation
 	direct = bestOf(3, func() {
-		d1, err = engine.NewEvaluator(s.DB, s.Views).Exec(q)
+		d1, err = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, q)
 		if err != nil {
 			panic(err)
 		}
 	})
 	rewritten = bestOf(3, func() {
-		d2, err = engine.NewEvaluator(s.DB, s.Views).Exec(best.Query)
+		d2, err = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, best.Query)
 		if err != nil {
 			panic(err)
 		}
@@ -245,7 +249,7 @@ func RunConjView(s *aggview.System) (direct, rewritten time.Duration, vRows int,
 // E3Coalesce measures subgroup coalescing (Example 4.1): the query
 // groups coarser than the view; speedup tracks the compression ratio
 // (table T3).
-func E3Coalesce(w io.Writer, quick bool) {
+func E3Coalesce(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E3", "Coalescing subgroups (Ex. 4.1)",
 		"a finer-grouped COUNT view answers a coarser COUNT query by summing subgroup counts; the win is the base-to-view compression ratio")
 	rows := 200000
@@ -254,8 +258,8 @@ func E3Coalesce(w io.Writer, quick bool) {
 	}
 	t := newTable("|R1|", "subgroups/group", "|view|", "direct", "rewritten", "speedup", "equal")
 	for _, fanIn := range []int{4, 16, 64} {
-		s := coalesceSystem(rows, fanIn)
-		direct, rewritten, vRows, equal := RunCoalesce(s)
+		s := coalesceSystem(ctx, rows, fanIn)
+		direct, rewritten, vRows, equal := RunCoalesce(ctx, s)
 		t.row(rows, fanIn, vRows, direct, rewritten, float64(direct)/float64(rewritten), equal)
 	}
 	t.flush(w)
@@ -263,7 +267,7 @@ func E3Coalesce(w io.Writer, quick bool) {
 
 const coalesceQuery = "SELECT A, COUNT(B) FROM R1 GROUP BY A"
 
-func coalesceSystem(rows, fanIn int) *aggview.System {
+func coalesceSystem(ctx context.Context, rows, fanIn int) *aggview.System {
 	s := aggview.New()
 	s.Catalog = datagen.R1R2Catalog(false)
 	db := engine.NewDB()
@@ -275,25 +279,25 @@ func coalesceSystem(rows, fanIn int) *aggview.System {
 	db.Put("R2", engine.NewRelation("E", "F"))
 	s.AdoptDB(db, "R1", "R2")
 	s.MustDefineView("Vc", "SELECT A, C, COUNT(D) FROM R1 GROUP BY A, C")
-	if _, err := s.Materialize("Vc"); err != nil {
+	if _, err := s.MaterializeContext(ctx, "Vc"); err != nil {
 		panic(err)
 	}
 	return s
 }
 
 // RunCoalesce measures one fan-in point of E3.
-func RunCoalesce(s *aggview.System) (direct, rewritten time.Duration, vRows int, equal bool) {
+func RunCoalesce(ctx context.Context, s *aggview.System) (direct, rewritten time.Duration, vRows int, equal bool) {
 	q, err := s.Parse(coalesceQuery)
 	if err != nil {
 		panic(err)
 	}
-	rws, err := s.Rewritings(coalesceQuery)
+	rws, err := s.RewritingsContext(ctx, coalesceQuery)
 	if err != nil || len(rws) == 0 {
 		panic("coalescing rewriting missing")
 	}
 	var d1, d2 *engine.Relation
-	direct = bestOf(3, func() { d1, _ = engine.NewEvaluator(s.DB, s.Views).Exec(q) })
-	rewritten = bestOf(3, func() { d2, _ = engine.NewEvaluator(s.DB, s.Views).Exec(rws[0].Query) })
+	direct = bestOf(3, func() { d1, _ = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, q) })
+	rewritten = bestOf(3, func() { d2, _ = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, rws[0].Query) })
 	rel, _ := s.DB.Get("Vc")
 	return direct, rewritten, rel.Len(), engine.MultisetEqual(d1, d2)
 }
@@ -301,7 +305,7 @@ func RunCoalesce(s *aggview.System) (direct, rewritten time.Duration, vRows int,
 // E4Multiplicity covers Example 4.2 (table T4): the correctness verdict
 // on the published construction versus this library's scaled-aggregate
 // rewriting, plus its performance.
-func E4Multiplicity(w io.Writer, quick bool) {
+func E4Multiplicity(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E4", "Multiplicity recovery (Ex. 4.2)",
 		"a COUNT column in the view recovers multiplicities lost to grouping; the paper's literal Q' is incorrect on coalescing groups (see DESIGN.md)")
 
@@ -318,8 +322,8 @@ func E4Multiplicity(w io.Writer, quick bool) {
 	if quick {
 		rows = 20000
 	}
-	s := multSystem(rows)
-	direct, rewritten, equal := RunMultiplicity(s)
+	s := multSystem(ctx, rows)
+	direct, rewritten, equal := RunMultiplicity(ctx, s)
 	t := newTable("|R1|", "direct", "rewritten", "speedup", "equal")
 	t.row(rows, direct, rewritten, float64(direct)/float64(rewritten), equal)
 	t.flush(w)
@@ -380,29 +384,29 @@ func CounterexampleAnswers() (want, paper, ours int64) {
 
 const multQuery = "SELECT A, SUM(E) FROM R1, R2 GROUP BY A"
 
-func multSystem(rows int) *aggview.System {
+func multSystem(ctx context.Context, rows int) *aggview.System {
 	s := aggview.New()
 	s.Catalog = datagen.R1R2Catalog(false)
 	s.AdoptDB(datagen.R1R2(datagen.R1R2Config{R1Rows: rows, R2Rows: 30, Domain: 12, Seed: 4}), "R1", "R2")
 	s.MustDefineView("V2", "SELECT A, B, SUM(C), COUNT(C) FROM R1 GROUP BY A, B")
-	if _, err := s.Materialize("V2"); err != nil {
+	if _, err := s.MaterializeContext(ctx, "V2"); err != nil {
 		panic(err)
 	}
 	return s
 }
 
 // RunMultiplicity measures the E4 performance point.
-func RunMultiplicity(s *aggview.System) (direct, rewritten time.Duration, equal bool) {
+func RunMultiplicity(ctx context.Context, s *aggview.System) (direct, rewritten time.Duration, equal bool) {
 	q, err := s.Parse(multQuery)
 	if err != nil {
 		panic(err)
 	}
-	rws, err := s.Rewritings(multQuery)
+	rws, err := s.RewritingsContext(ctx, multQuery)
 	if err != nil || len(rws) == 0 {
 		panic("multiplicity rewriting missing")
 	}
 	var d1, d2 *engine.Relation
-	direct = bestOf(3, func() { d1, _ = engine.NewEvaluator(s.DB, s.Views).Exec(q) })
-	rewritten = bestOf(3, func() { d2, _ = engine.NewEvaluator(s.DB, s.Views).Exec(rws[0].Query) })
+	direct = bestOf(3, func() { d1, _ = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, q) })
+	rewritten = bestOf(3, func() { d2, _ = engine.NewEvaluator(s.DB, s.Views).ExecContext(ctx, rws[0].Query) })
 	return direct, rewritten, engine.MultisetEqual(d1, d2)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -17,12 +18,12 @@ import (
 // E5MultiView machine-checks Theorem 3.2 (table T5): iterative
 // application over k slice views yields all 2^k - 1 combinations, every
 // one multiset-equivalent, and view order does not matter.
-func E5MultiView(w io.Writer) {
+func E5MultiView(ctx context.Context, w io.Writer) {
 	header(w, "E5", "Iterative multi-view rewriting (Thm 3.2)",
 		"iterating single-view rewriting is sound, Church-Rosser, and complete: k independently usable views yield 2^k - 1 rewritings in any order")
 	t := newTable("views k", "expected 2^k-1", "found", "all equivalent", "order-independent")
 	for k := 1; k <= 3; k++ {
-		found, equal, orderFree := RunMultiView(k)
+		found, equal, orderFree := RunMultiView(ctx, k)
 		t.row(k, (1<<k)-1, found, equal, orderFree)
 	}
 	t.flush(w)
@@ -30,7 +31,7 @@ func E5MultiView(w io.Writer) {
 
 // RunMultiView builds k slice views over a k-table query and checks the
 // Theorem 3.2 properties.
-func RunMultiView(k int) (found int, allEqual, orderFree bool) {
+func RunMultiView(ctx context.Context, k int) (found int, allEqual, orderFree bool) {
 	// Schema: tables T0..T(k-1), each (X, Y); query joins them on X.
 	src := ir.MapSource{}
 	reg := ir.NewRegistry()
@@ -59,7 +60,10 @@ func RunMultiView(k int) (found int, allEqual, orderFree bool) {
 	}
 	rw := &core.Rewriter{Schema: src, Views: reg}
 	q := ir.MustBuild(qSQL, src)
-	rws := rw.Rewritings(q)
+	rws, err := rw.RewritingsContext(ctx, q)
+	if err != nil {
+		panic(err)
+	}
 	found = len(rws)
 
 	// Soundness on random data.
@@ -72,12 +76,12 @@ func RunMultiView(k int) (found int, allEqual, orderFree bool) {
 		db.Put(fmt.Sprintf("T%d", i), rel)
 	}
 	allEqual = true
-	want, err := engine.NewEvaluator(db, reg).Exec(q)
+	want, err := engine.NewEvaluator(db, reg).ExecContext(ctx, q)
 	if err != nil {
 		panic(err)
 	}
 	for _, r := range rws {
-		got, err := engine.NewEvaluator(db, reg).Exec(r.Query)
+		got, err := engine.NewEvaluator(db, reg).ExecContext(ctx, r.Query)
 		if err != nil || !engine.MultisetEqual(want, got) {
 			allEqual = false
 		}
@@ -94,7 +98,11 @@ func RunMultiView(k int) (found int, allEqual, orderFree bool) {
 		}
 	}
 	rw2 := &core.Rewriter{Schema: src, Views: rev}
-	orderFree = len(rw2.Rewritings(q)) == found
+	rws2, err := rw2.RewritingsContext(ctx, q)
+	if err != nil {
+		panic(err)
+	}
+	orderFree = len(rws2) == found
 	return found, allEqual, orderFree
 }
 
@@ -102,7 +110,7 @@ func RunMultiView(k int) (found int, allEqual, orderFree bool) {
 // enumerate all rewritings as views, query tables and predicates grow —
 // the Section 6 concern that view usability enlarges the optimizer's
 // search space.
-func E6SearchCost(w io.Writer, quick bool) {
+func E6SearchCost(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E6", "Rewriting search cost (Sec. 6)",
 		"usability checking is cheap enough for an optimizer: microseconds to low milliseconds per query even with dozens of candidate views")
 	t := newTable("query tables", "candidate views", "rewritings", "enumeration time")
@@ -112,7 +120,7 @@ func E6SearchCost(w io.Writer, quick bool) {
 	}
 	for _, sz := range sizes {
 		nTables, nViews := sz[0], sz[1]
-		elapsed, found := RunSearchCost(nTables, nViews)
+		elapsed, found := RunSearchCost(ctx, nTables, nViews)
 		t.row(nTables, nViews, found, elapsed)
 	}
 	t.flush(w)
@@ -120,7 +128,7 @@ func E6SearchCost(w io.Writer, quick bool) {
 
 // RunSearchCost measures one point of E6. Views are B-slices of R1 and
 // F-slices of R2; only a few match the query's predicates.
-func RunSearchCost(nTables, nViews int) (time.Duration, int) {
+func RunSearchCost(ctx context.Context, nTables, nViews int) (time.Duration, int) {
 	src := ir.MapSource{"R1": {"A", "B", "C", "D"}, "R2": {"E", "F"}, "R3": {"G", "H"}}
 	reg := ir.NewRegistry()
 	for i := 0; i < nViews; i++ {
@@ -153,18 +161,24 @@ func RunSearchCost(nTables, nViews int) (time.Duration, int) {
 	q := ir.MustBuild(qSQL, src)
 	rw := &core.Rewriter{Schema: src, Views: reg}
 	var found int
-	elapsed := bestOf(3, func() { found = len(rw.Rewritings(q)) })
+	elapsed := bestOf(3, func() {
+		rws, err := rw.RewritingsContext(ctx, q)
+		if err != nil {
+			panic(err)
+		}
+		found = len(rws)
+	})
 	return elapsed, found
 }
 
 // E7Keys machine-checks the Section 5 relaxation (table T7): Example
 // 5.1 is rewritable exactly when key metadata is available.
-func E7Keys(w io.Writer) {
+func E7Keys(ctx context.Context, w io.Writer) {
 	header(w, "E7", "Sets and keys (Sec. 5, Ex. 5.1)",
 		"with key metadata, many-to-1 mappings admit rewritings that multiset semantics forbids; without it the view is unusable")
 	t := newTable("metadata", "rewritings found", "verified on data")
 	for _, withKeys := range []bool{false, true} {
-		found, verified := RunKeysCase(withKeys)
+		found, verified := RunKeysCase(ctx, withKeys)
 		label := "none"
 		if withKeys {
 			label = "KEY(R1.A), KEY(R2.E)"
@@ -175,7 +189,7 @@ func E7Keys(w io.Writer) {
 }
 
 // RunKeysCase runs Example 5.1 with or without key metadata.
-func RunKeysCase(withKeys bool) (int, string) {
+func RunKeysCase(ctx context.Context, withKeys bool) (int, string) {
 	cat := datagen.R1R2Catalog(withKeys)
 	reg := ir.NewRegistry()
 	def := ir.MustBuild("SELECT r.A, s.A FROM R1 r, R1 s WHERE r.B = s.C", cat)
@@ -203,11 +217,11 @@ func RunKeysCase(withKeys bool) (int, string) {
 	r1.Add(value.Int(3), value.Int(7), value.Int(5), value.Int(0))
 	db.Put("R1", r1)
 	db.Put("R2", engine.NewRelation("E", "F"))
-	want, err := engine.NewEvaluator(db, reg).Exec(q)
+	want, err := engine.NewEvaluator(db, reg).ExecContext(ctx, q)
 	if err != nil {
 		panic(err)
 	}
-	got, err := engine.NewEvaluator(db, reg).Exec(rws[0].Query)
+	got, err := engine.NewEvaluator(db, reg).ExecContext(ctx, rws[0].Query)
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@ package experiments
 // cache (named as future work in the conclusion).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,7 +22,7 @@ import (
 
 // E11Maintenance compares incremental delta-merge maintenance against
 // recompute-per-batch for the chronicle summary table (table T11).
-func E11Maintenance(w io.Writer, quick bool) {
+func E11Maintenance(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E11", "Summary-table maintenance (extension; Sec. 1 scenarios)",
 		"append-only SUM/COUNT/MIN/MAX summaries maintain in time proportional to the delta, not the base table — the property that makes the paper's cached summary tables practical")
 	base := 100000
@@ -29,7 +30,7 @@ func E11Maintenance(w io.Writer, quick bool) {
 	if quick {
 		base, batches = 20000, 20
 	}
-	incr, reco, consistent := RunMaintenance(base, batches, batchSize)
+	incr, reco, consistent := RunMaintenance(ctx, base, batches, batchSize)
 	t := newTable("base rows", "batches x size", "incremental (total)", "recompute (total)", "ratio", "consistent")
 	t.row(base, fmt.Sprintf("%d x %d", batches, batchSize), incr, reco,
 		float64(reco)/float64(incr), consistent)
@@ -40,7 +41,7 @@ func E11Maintenance(w io.Writer, quick bool) {
 // total time to apply the batches incrementally, the total time under
 // recompute-per-batch, and whether the incremental materialization
 // matched a recomputation at the end.
-func RunMaintenance(baseRows, batches, batchSize int) (incr, reco time.Duration, consistent bool) {
+func RunMaintenance(ctx context.Context, baseRows, batches, batchSize int) (incr, reco time.Duration, consistent bool) {
 	mkDB := func() (*engine.DB, *ir.Registry) {
 		db := datagen.Chronicle(datagen.ChronicleConfig{Accounts: 100, Txns: baseRows, Days: 30, Seed: 9})
 		reg := ir.NewRegistry()
@@ -87,7 +88,7 @@ func RunMaintenance(baseRows, batches, batchSize int) (incr, reco time.Duration,
 	for b := 0; b < batches; b++ {
 		rel, _ := db2.Get("Txns")
 		rel.Tuples = append(rel.Tuples, mkBatch(b)...)
-		res, err := engine.NewEvaluator(db2, nil).Exec(mustView(reg2, "DailyAcct").Def)
+		res, err := engine.NewEvaluator(db2, nil).ExecContext(ctx, mustView(reg2, "DailyAcct").Def)
 		if err != nil {
 			panic(err)
 		}
@@ -96,7 +97,7 @@ func RunMaintenance(baseRows, batches, batchSize int) (incr, reco time.Duration,
 	reco = time.Since(start)
 
 	// Consistency: the incremental materialization equals recomputation.
-	final, err := engine.NewEvaluator(db1, nil).Exec(mustView(reg1, "DailyAcct").Def)
+	final, err := engine.NewEvaluator(db1, nil).ExecContext(ctx, mustView(reg1, "DailyAcct").Def)
 	if err != nil {
 		panic(err)
 	}
@@ -115,21 +116,21 @@ func mustView(reg *ir.Registry, name string) *ir.ViewDef {
 // E12Advisor runs the workload-driven view selection end to end (table
 // T12): modeled benefit and measured workload time before and after
 // materializing the recommendations.
-func E12Advisor(w io.Writer, quick bool) {
+func E12Advisor(ctx context.Context, w io.Writer, quick bool) {
 	header(w, "E12", "View selection (extension; Sec. 7 future work)",
 		"greedily chosen summary views under a space budget cut the measured workload time, and the modeled benefit points the same way")
 	calls := 100000
 	if quick {
 		calls = 20000
 	}
-	nViews, viewRows, before, after, equal := RunAdvisor(calls)
+	nViews, viewRows, before, after, equal := RunAdvisor(ctx, calls)
 	t := newTable("|Calls|", "views picked", "view rows", "workload before", "workload after", "speedup", "answers equal")
 	t.row(calls, nViews, viewRows, before, after, float64(before)/float64(after), equal)
 	t.flush(w)
 }
 
 // RunAdvisor measures the advisor experiment at one scale.
-func RunAdvisor(calls int) (nViews, viewRows int, before, after time.Duration, equal bool) {
+func RunAdvisor(ctx context.Context, calls int) (nViews, viewRows int, before, after time.Duration, equal bool) {
 	workload := []string{
 		`SELECT Plan_Id, SUM(Charge) FROM Calls WHERE Year = 1995 GROUP BY Plan_Id`,
 		`SELECT Plan_Id, Month, SUM(Charge), COUNT(Charge) FROM Calls GROUP BY Plan_Id, Month`,
@@ -147,7 +148,7 @@ func RunAdvisor(calls int) (nViews, viewRows int, before, after time.Duration, e
 			results = results[:0]
 			start := time.Now()
 			for _, q := range workload {
-				r, _, err := s.QueryBest(q)
+				r, _, err := s.QueryBestContext(ctx, q)
 				if err != nil {
 					panic(err)
 				}

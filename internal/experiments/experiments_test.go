@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // table must be produced and every machine-checked claim must hold.
 func TestAllQuick(t *testing.T) {
 	var buf bytes.Buffer
-	All(&buf, true)
+	All(context.Background(), &buf, true)
 	out := buf.String()
 	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		if !strings.Contains(out, "## "+id+" ") {
@@ -43,7 +44,7 @@ func TestCounterexampleAnswers(t *testing.T) {
 
 func TestMultiViewCompleteness(t *testing.T) {
 	for k := 1; k <= 3; k++ {
-		found, equal, orderFree := RunMultiView(k)
+		found, equal, orderFree := RunMultiView(context.Background(), k)
 		if found != (1<<k)-1 {
 			t.Errorf("k=%d: found %d rewritings, want %d", k, found, (1<<k)-1)
 		}
@@ -57,10 +58,10 @@ func TestMultiViewCompleteness(t *testing.T) {
 }
 
 func TestKeysCases(t *testing.T) {
-	if found, _ := RunKeysCase(false); found != 0 {
+	if found, _ := RunKeysCase(context.Background(), false); found != 0 {
 		t.Errorf("without keys: found %d rewritings, want 0", found)
 	}
-	found, verified := RunKeysCase(true)
+	found, verified := RunKeysCase(context.Background(), true)
 	if found == 0 || verified != "yes" {
 		t.Errorf("with keys: found=%d verified=%s", found, verified)
 	}
@@ -87,23 +88,24 @@ func TestHavingAblation(t *testing.T) {
 
 func TestSpeedupDirections(t *testing.T) {
 	// Quick sanity that the performance experiments point the right way.
-	s := telcoSystem(5000)
-	direct, rewritten, v1 := RunTelco(s)
+	ctx := context.Background()
+	s := telcoSystem(ctx, 5000)
+	direct, rewritten, v1 := RunTelco(ctx, s)
 	if v1 == 0 || rewritten >= direct {
 		t.Errorf("telco: direct=%v rewritten=%v |V1|=%d", direct, rewritten, v1)
 	}
-	cs := coalesceSystem(20000, 16)
-	d2, r2, vRows, equal := RunCoalesce(cs)
+	cs := coalesceSystem(ctx, 20000, 16)
+	d2, r2, vRows, equal := RunCoalesce(ctx, cs)
 	if !equal || r2 >= d2 || vRows == 0 {
 		t.Errorf("coalesce: direct=%v rewritten=%v equal=%v", d2, r2, equal)
 	}
-	ms := multSystem(20000)
-	d3, r3, eq3 := RunMultiplicity(ms)
+	ms := multSystem(ctx, 20000)
+	d3, r3, eq3 := RunMultiplicity(ctx, ms)
 	if !eq3 || r3 >= d3 {
 		t.Errorf("multiplicity: direct=%v rewritten=%v equal=%v", d3, r3, eq3)
 	}
-	cjs := conjSystem(5000)
-	_, _, _, eq4 := RunConjView(cjs)
+	cjs := conjSystem(ctx, 5000)
+	_, _, _, eq4 := RunConjView(ctx, cjs)
 	if !eq4 {
 		t.Error("conjunctive-view rewriting not equivalent")
 	}
@@ -120,7 +122,7 @@ func TestClosureScaling(t *testing.T) {
 }
 
 func TestSearchCost(t *testing.T) {
-	elapsed, found := RunSearchCost(2, 8)
+	elapsed, found := RunSearchCost(context.Background(), 2, 8)
 	if found == 0 {
 		t.Error("search should find rewritings")
 	}
@@ -130,7 +132,7 @@ func TestSearchCost(t *testing.T) {
 }
 
 func TestMaintenanceExperiment(t *testing.T) {
-	incr, reco, consistent := RunMaintenance(5000, 8, 50)
+	incr, reco, consistent := RunMaintenance(context.Background(), 5000, 8, 50)
 	if !consistent {
 		t.Fatal("incremental maintenance diverged from recomputation")
 	}
@@ -140,7 +142,7 @@ func TestMaintenanceExperiment(t *testing.T) {
 }
 
 func TestAdvisorExperiment(t *testing.T) {
-	nViews, viewRows, _, _, equal := RunAdvisor(5000)
+	nViews, viewRows, _, _, equal := RunAdvisor(context.Background(), 5000)
 	if nViews == 0 {
 		t.Fatal("advisor should recommend at least one view")
 	}

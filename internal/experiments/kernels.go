@@ -7,8 +7,10 @@ package experiments
 // sizes so reports can be diffed across PRs.
 
 import (
+	"context"
 	"runtime"
 
+	"aggview"
 	"aggview/internal/benchjson"
 	"aggview/internal/constraints"
 	"aggview/internal/datagen"
@@ -32,10 +34,49 @@ func kernelWorkerCounts() []int {
 // one scan, many groups, float accumulation.
 const aggOnlyQuery = "SELECT Plan_Id, Month, AVG(Charge) FROM Calls GROUP BY Plan_Id, Month"
 
+// SmokePoint is one measurement of the -smoke speedup gate.
+type SmokePoint struct {
+	Name    string
+	Scale   int
+	Speedup float64 // serial-ns / workers=2-ns, best-of-reps each
+}
+
+// SmokeSpeedups measures the two morsel-parallel kernels the smoke gate
+// watches — vectorized group-by aggregation (telco/agg-group) and the
+// join pipeline (conj/exec-direct) — at workers 1 versus 2, best of
+// several repetitions each, and returns the workers=2 speedups. Scales
+// are kept small enough for CI but above minParallelRows so the
+// parallel path genuinely engages.
+func SmokeSpeedups(ctx context.Context) []SmokePoint {
+	reps := 5
+	measure := func(s *aggview.System, sql string, scale int, name string) SmokePoint {
+		q, err := s.Parse(sql)
+		if err != nil {
+			panic(err)
+		}
+		run := func(workers int) int64 {
+			return bestOf(reps, func() {
+				ev := engine.NewEvaluator(s.DB, s.Views)
+				ev.Workers = workers
+				if _, err := ev.ExecContext(ctx, q); err != nil {
+					panic(err)
+				}
+			}).Nanoseconds()
+		}
+		serial, par := run(1), run(2)
+		return SmokePoint{Name: name, Scale: scale, Speedup: float64(serial) / float64(par)}
+	}
+	const telcoScale, conjScale = 50000, 25000
+	return []SmokePoint{
+		measure(telcoSystem(ctx, telcoScale), aggOnlyQuery, telcoScale, "telco/agg-group"),
+		measure(conjSystem(ctx, conjScale), conjQuery, conjScale, "conj/exec-direct"),
+	}
+}
+
 // CollectKernelBench measures the parallel kernels and returns a report
 // for -json. quick shrinks scales and repetitions so the whole
 // collection stays well under ten seconds.
-func CollectKernelBench(quick bool) *benchjson.Report {
+func CollectKernelBench(ctx context.Context, quick bool) *benchjson.Report {
 	rep := benchjson.New(quick)
 	if rep.GoMaxProcs == 1 {
 		rep.Note("GOMAXPROCS=1: multi-worker rows measure scheduling overhead, not parallel speedup")
@@ -53,7 +94,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 	// Engine kernels over telco: hash join + streaming aggregation
 	// (direct), view scan (rewritten), and pure group-fold (agg-only).
 	{
-		s := telcoSystem(telcoScale)
+		s := telcoSystem(ctx, telcoScale)
 		q, err := s.Parse(TelcoQuery)
 		if err != nil {
 			panic(err)
@@ -62,7 +103,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 		if err != nil {
 			panic(err)
 		}
-		rws, err := s.Rewritings(TelcoQuery)
+		rws, err := s.RewritingsContext(ctx, TelcoQuery)
 		if err != nil || len(rws) == 0 {
 			panic("telco rewriting missing")
 		}
@@ -70,7 +111,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 			exec := func(query *ir.Query) {
 				ev := engine.NewEvaluator(s.DB, s.Views)
 				ev.Workers = w
-				if _, err := ev.Exec(query); err != nil {
+				if _, err := ev.ExecContext(ctx, query); err != nil {
 					panic(err)
 				}
 			}
@@ -85,7 +126,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 
 	// Conjunctive-view workload: selective join with residual filters.
 	{
-		s := conjSystem(conjScale)
+		s := conjSystem(ctx, conjScale)
 		q, err := s.Parse(conjQuery)
 		if err != nil {
 			panic(err)
@@ -94,7 +135,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 			rep.Add("conj/exec-direct", conjScale, w, bestOf(reps, func() {
 				ev := engine.NewEvaluator(s.DB, s.Views)
 				ev.Workers = w
-				if _, err := ev.Exec(q); err != nil {
+				if _, err := ev.ExecContext(ctx, q); err != nil {
 					panic(err)
 				}
 			}).Nanoseconds())
@@ -103,11 +144,11 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 
 	// Rewrite search: BFS candidate analysis at several pool sizes.
 	{
-		s := telcoSystem(searchScale)
+		s := telcoSystem(ctx, searchScale)
 		for _, w := range kernelWorkerCounts() {
 			s.Opts.Workers = w
 			rep.Add("search/telco-rewritings", searchScale, w, bestOf(reps, func() {
-				if _, err := s.Rewritings(TelcoQuery); err != nil {
+				if _, err := s.RewritingsContext(ctx, TelcoQuery); err != nil {
 					panic(err)
 				}
 			}).Nanoseconds())
@@ -146,19 +187,19 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 	// scale is small so the instrumented run does not dominate -quick.
 	{
 		scale := 5000
-		s := telcoSystem(scale)
+		s := telcoSystem(ctx, scale)
 		q, err := s.Parse(TelcoQuery)
 		if err != nil {
 			panic(err)
 		}
-		rws, err := s.Rewritings(TelcoQuery)
+		rws, err := s.RewritingsContext(ctx, TelcoQuery)
 		if err != nil || len(rws) == 0 {
 			panic("telco rewriting missing")
 		}
 		m := obs.NewMetrics()
 		ev := engine.NewEvaluator(s.DB, s.Views)
 		ev.Metrics = m
-		if _, err := ev.Exec(q); err != nil {
+		if _, err := ev.ExecContext(ctx, q); err != nil {
 			panic(err)
 		}
 		// The rewritten plan runs against a database without the
@@ -168,7 +209,7 @@ func CollectKernelBench(quick bool) *benchjson.Report {
 		ev2 := engine.NewEvaluator(base, s.Views)
 		ev2.Metrics = m
 		for i := 0; i < 2; i++ {
-			if _, err := ev2.Exec(rws[0].Query); err != nil {
+			if _, err := ev2.ExecContext(ctx, rws[0].Query); err != nil {
 				panic(err)
 			}
 		}

@@ -23,6 +23,8 @@ package faultinject
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -39,10 +41,15 @@ const (
 	// SiteCache is observed by the engine's view cache, once per
 	// resolve of a view name.
 	SiteCache Site = "cache"
+	// SiteStorage is observed by the engine's storage layer, once per
+	// Scan of a base-table name. It doubles as the site tag of the
+	// error-injecting Storage backend (engine.FaultStorage), which
+	// returns typed *Injected errors instead of canceling the context.
+	SiteStorage Site = "storage"
 )
 
-// Sites lists every supported injection site.
-var Sites = []Site{SiteRow, SiteCandidate, SiteCache}
+// Sites lists every supported cancellation-injection site.
+var Sites = []Site{SiteRow, SiteCandidate, SiteCache, SiteStorage}
 
 // Spec is a serializable injection plan: cancel at the k-th observation
 // of the site (1-based; weighted sites such as rows count units, not
@@ -112,3 +119,23 @@ func (in *Injector) Observe(site Site, n int64) {
 
 // Fired reports whether the injector has canceled its context.
 func (in *Injector) Fired() bool { return in != nil && in.fired.Load() }
+
+// Injected is the typed error returned by error-injecting fault
+// backends — I/O-style failures surfaced through return values rather
+// than context cancellation (engine.FaultStorage). It is not a
+// budget-transient error: production caches must still refuse to
+// memoize it, which IsInjected lets them check.
+type Injected struct {
+	Site Site   // the instrumented site that failed ("storage")
+	Op   string // the failed operation, e.g. `scan "calls"`
+}
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected %s fault: %s", e.Site, e.Op)
+}
+
+// IsInjected reports whether err is (or wraps) an *Injected.
+func IsInjected(err error) bool {
+	var i *Injected
+	return errors.As(err, &i)
+}

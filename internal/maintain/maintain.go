@@ -241,6 +241,9 @@ func (m *Maintainer) applyDelta(st *state, table string, delta *engine.Relation)
 			old[a.pos] = merged
 		}
 	}
+	// Aggregate merges mutate tuples in place without changing the row
+	// count, which the DB's columnar-image freshness check cannot see.
+	m.db.Invalidate(st.def.Name)
 	return nil
 }
 
@@ -271,6 +274,9 @@ func (m *Maintainer) recompute(st *state) error {
 	}
 	st.rel.Attrs = append([]string{}, st.def.OutCols...)
 	st.rel.Tuples = rel.Tuples
+	// The replacement may keep the old row count, so drop the cached
+	// columnar image explicitly.
+	m.db.Invalidate(st.def.Name)
 	if st.incremental {
 		st.buildIndex()
 	}

@@ -33,6 +33,14 @@ type Options struct {
 	// untyped error or a panic — instead of the exact correct bag or a
 	// clean typed Canceled — is a violation.
 	Faults []faultinject.Spec
+	// StorageFaults lists scan countdowns for the storage-fault pass:
+	// for each k, every execution is repeated against a FaultStorage
+	// backend whose k-th table scan (and every later one) fails with a
+	// typed I/O-style error, and the run must end in either the exact
+	// correct bag or that clean typed error — never a partial result.
+	// Empty with Faults set defaults to {1, 2, 4}; empty with Faults
+	// empty disables the pass.
+	StorageFaults []int64
 	// ShrinkBudget bounds the number of Check calls one Shrink may
 	// spend; 0 means the default (400).
 	ShrinkBudget int
@@ -49,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRewritings == 0 {
 		o.MaxRewritings = 16
+	}
+	if len(o.StorageFaults) == 0 && len(o.Faults) > 0 {
+		o.StorageFaults = []int64{1, 2, 4}
 	}
 	return o
 }
@@ -198,6 +209,11 @@ func CheckContext(ctx context.Context, c *Case, opt Options) (*Outcome, error) {
 	}
 	if len(opt.Faults) > 0 {
 		if err := faultPass(ctx, sys, sql, ref, rws, opt, out); err != nil {
+			return nil, err
+		}
+	}
+	if len(opt.StorageFaults) > 0 {
+		if err := storagePass(ctx, sys, sql, ref, rws, opt, out); err != nil {
 			return nil, err
 		}
 	}

@@ -63,6 +63,38 @@ func TestOracleFaultInjectionPass(t *testing.T) {
 	t.Logf("oracle: %d injected executions held the contract over %d instances", runs, trials)
 }
 
+// TestOracleStorageFaultPass soaks the error-injection contract: with a
+// FaultStorage backend failing the k-th scan on, every execution must
+// produce either the exact correct bag or a clean typed injected error —
+// never a partial result. k=1 fails the very first scan (every plan
+// aborts), larger k let some plans finish, so both arms of the contract
+// are exercised.
+func TestOracleStorageFaultPass(t *testing.T) {
+	opt := Options{StorageFaults: []int64{1, 2, 4, 64}}
+	trials := 40
+	if testing.Short() {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(propertySeed + 3))
+	runs := 0
+	for trial := 0; trial < trials; trial++ {
+		c := Generate(rng, GenOptions{})
+		out, err := Check(c, opt)
+		if err != nil {
+			t.Fatalf("trial %d: generated case rejected:\n%s\nerror: %v", trial, c.Script(), err)
+		}
+		if !out.OK() {
+			t.Fatalf("trial %d: storage-fault contract violated\n%s\nscript:\n%s",
+				trial, out.Violations[0].String(), c.Script())
+		}
+		runs += out.FaultRuns
+	}
+	if runs == 0 {
+		t.Fatal("storage fault pass never executed a run")
+	}
+	t.Logf("oracle: %d storage-faulted executions held the contract over %d instances", runs, trials)
+}
+
 // tamperAlwaysFail appends a contradiction to every rewriting, so any
 // rewriting-bearing case with a nonempty direct answer fails — a
 // deterministic failure source for shrink tests.

@@ -74,6 +74,65 @@ func faultPass(ctx context.Context, sys *aggview.System, sql string, ref *engine
 	return nil
 }
 
+// storagePass re-runs every execution of the case against an
+// engine.FaultStorage backend that fails the k-th table scan (and every
+// later one) with a typed I/O-style error, for each configured k. The
+// contract mirrors the cancellation pass, but for error injection: the
+// run must end in either the exact correct bag (every scan the plan
+// needed happened before the countdown hit zero) or a clean typed
+// injected error — never a partial result and never an untyped failure.
+// Each run gets a fresh armed backend; the pass restores the system's
+// storage to its database before returning.
+func storagePass(ctx context.Context, sys *aggview.System, sql string, ref *engine.Relation, rws []*core.Rewriting, opt Options, out *Outcome) error {
+	defer func() { sys.Store = nil }()
+	for _, k := range opt.StorageFaults {
+		for _, w := range opt.Workers {
+			if err := budget.Check(ctx, "oracle.faults"); err != nil {
+				return err
+			}
+			sys.Opts.Workers = w
+			tag := fmt.Sprintf("storage@%d", k)
+
+			run := func(used []string, shownSQL string, setOnly bool, exec func(context.Context) (*engine.Relation, error)) {
+				out.FaultRuns++
+				sys.Store = engine.NewFaultStorage(sys.DB, k)
+				got, err := execRecover(ctx, exec)
+				if err != nil {
+					if (faultinject.IsInjected(err) || budget.IsCanceled(err)) && got == nil {
+						return // clean typed abort: contract held
+					}
+					out.Violations = append(out.Violations, Violation{
+						Workers: w, Used: used, RewritingSQL: shownSQL, Fault: tag,
+						Err: fmt.Errorf("under storage fault: %w", err),
+					})
+					return
+				}
+				want := ref
+				if setOnly {
+					want, got = dedup(want), dedup(got)
+				}
+				if !engine.ResultsEqualBag(want, got) {
+					out.Violations = append(out.Violations, Violation{
+						Workers: w, Used: used, RewritingSQL: shownSQL, Fault: tag,
+						Want: want, Got: got,
+					})
+				}
+			}
+
+			run(nil, sql, false, func(fctx context.Context) (*engine.Relation, error) {
+				return sys.QueryContext(fctx, sql)
+			})
+			for _, r := range rws {
+				r := r
+				run(r.Used, r.SQL(), r.SetOnly, func(fctx context.Context) (*engine.Relation, error) {
+					return sys.ExecRewritingContext(fctx, r)
+				})
+			}
+		}
+	}
+	return nil
+}
+
 // execRecover converts a panic under injection into an error, so the
 // harness reports it as a violation instead of tearing the soak down.
 func execRecover(ctx context.Context, exec func(context.Context) (*engine.Relation, error)) (res *engine.Relation, err error) {

@@ -9,7 +9,6 @@ package value
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 )
 
@@ -265,6 +264,14 @@ func arith(a, b Value, op byte) (Value, error) {
 // Numerics hash through float64 so 1 and 1.0 land in the same group,
 // matching Equal.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the value's hash key (the same bytes Key returns) to
+// dst and returns the extended slice. The columnar engine builds group
+// and join keys through it so a reused buffer serves a whole batch
+// without one string allocation per value.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindInt:
 		// Integers exactly representable as float64 must collide with
@@ -272,23 +279,19 @@ func (v Value) Key() string {
 		// exactly representable; format those from the integer to keep
 		// distinct keys distinct.
 		if v.i >= -(1<<53) && v.i <= 1<<53 {
-			return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+			return strconv.AppendFloat(append(dst, 'n'), float64(v.i), 'g', -1, 64)
 		}
-		return "i" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 'i'), v.i, 10)
 	case KindFloat:
-		//aggvet:floateq integrality test: hash keys must unify 1 and 1.0 exactly, matching Equal's semantics — an epsilon would merge distinct values
-		if f := v.f; f == math.Trunc(f) && f >= -(1<<53) && f <= 1<<53 {
-			return "n" + strconv.FormatFloat(f, 'g', -1, 64)
-		}
-		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 'n'), v.f, 'g', -1, 64)
 	case KindString:
-		return "s" + v.s
+		return append(append(dst, 's'), v.s...)
 	case KindBool:
 		if v.i != 0 {
-			return "bT"
+			return append(dst, 'b', 'T')
 		}
-		return "bF"
+		return append(dst, 'b', 'F')
 	default:
-		return "?"
+		return append(dst, '?')
 	}
 }

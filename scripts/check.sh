@@ -39,3 +39,9 @@ go test -race -short -run 'Cancel|Budget|FaultInject' ./...
 # GOMAXPROCS, with seeded cancellation injection on every trial
 # (-faults defaults to on). `make soak` runs the long version.
 go run ./cmd/oraclerunner -seeds 1,2 -n 150
+
+# Bench smoke gate (DESIGN.md section 11): measure the morsel-parallel
+# aggregation and join kernels at workers 1 versus 2 and fail on a
+# parallel regression. On a multi-core host two workers must not lose
+# to serial; on a single core the gate bounds scheduling overhead.
+go run ./cmd/benchrunner -smoke
