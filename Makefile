@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench bench-json bench-smoke quick soak trace faults
+.PHONY: build test race vet lint check bench bench-json bench-smoke quick soak trace faults serve-smoke load
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,21 @@ quick:
 faults:
 	$(GO) test -race -run 'Cancel|Budget|FaultInject' ./...
 	$(GO) run ./cmd/oraclerunner -seeds 11,12 -n 200
+
+# serve-smoke is the CI serving gate (DESIGN.md section 12): start
+# aggserve on an ephemeral port from a seeded workload, drive 100+
+# mixed-tenant requests over TCP with mutations and fault windows on,
+# require zero mismatches and a clean SIGINT shutdown.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# load runs the full serving soak in-process: 8 concurrent sessions,
+# mutation barriers, storage-fault windows and client cancels, every
+# 200 differentially checked against a serial mirror, with a
+# goroutine-leak check at the end. Writes the load report checked in at
+# the repo root.
+load:
+	$(GO) run ./cmd/loadrunner -seed 7 -sessions 8 -rounds 6 -n 1200 -json BENCH_PR7.json
 
 # soak runs the differential-testing oracle over a fixed seed set, both
 # rewriter configurations, and writes a failure report (empty on a clean

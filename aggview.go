@@ -18,6 +18,7 @@ package aggview
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"aggview/internal/advisor"
@@ -239,6 +240,11 @@ func (s *System) Insert(table string, rows ...[]Value) error {
 		}
 	} else {
 		rel.Tuples = append(rel.Tuples, rows...)
+		// The columnar image's row-count check would catch the append on
+		// the next scan; invalidating explicitly also fires the DB's
+		// invalidation hook, which plan caches layered above the system
+		// (internal/server) rely on to observe every mutation.
+		s.DB.Invalidate(t.Name)
 	}
 	s.Stats[strings.ToLower(t.Name)] = float64(rel.Len())
 	for _, v := range s.Views.All() {
@@ -508,13 +514,20 @@ func (s *System) plan(ctx context.Context, sql string) (*Rewriting, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.planFlat(ctx, "Plan", q, anon)
+}
+
+// planFlat runs the rewrite search over an already flattened query and
+// picks the cheapest strategy; nil means direct evaluation won (or the
+// candidate budget was exhausted and the search degraded gracefully).
+func (s *System) planFlat(ctx context.Context, op string, flat *ir.Query, anon *ir.Registry) (*Rewriting, error) {
 	est := s.estimator()
-	bestCost := est.Estimate(q)
+	bestCost := est.Estimate(flat)
 	var best *Rewriting
-	rws, err := s.Rewriter().RewritingsContext(ctx, q)
+	rws, err := s.Rewriter().RewritingsContext(ctx, flat)
 	if err != nil {
 		if budget.IsExceeded(err) {
-			s.noteFallback("Plan", err)
+			s.noteFallback(op, err)
 			return nil, nil
 		}
 		return nil, err
@@ -526,6 +539,149 @@ func (s *System) plan(ctx context.Context, sql string) (*Rewriting, error) {
 		}
 	}
 	return best, nil
+}
+
+// Prepared is an extracted, reusable execution plan: the outcome of one
+// parse + flatten + rewrite search, detached from the SQL text that
+// produced it. Queries whose canonical keys are equal are semantically
+// interchangeable (modulo FROM order and WHERE spelling), so one
+// Prepared answers them all — the serving layer's plan cache stores
+// these so repeated query shapes skip the rewrite search entirely.
+type Prepared struct {
+	// Key is the canonical plan key (core.CanonicalKey of the flattened
+	// query). Collision-freedom is guarded by the core suite's
+	// adversarial key tests.
+	Key string
+	// Used names the views the chosen plan ranges over, in application
+	// order; empty when direct evaluation won.
+	Used []string
+	// Deps lists, lowercased and sorted, every stored relation that
+	// executing the plan may read: base tables, materialized views, and
+	// the transitive sources of every view definition the plan
+	// references. A plan cache must evict a Prepared when any of these
+	// is invalidated (engine.DB.SetOnInvalidate is the seam).
+	Deps []string
+
+	rw     *Rewriting
+	direct *ir.Query    // the original parse; executed when rw == nil
+	reg    *ir.Registry // registry snapshot resolving views and subqueries
+}
+
+// Rewritten reports whether the plan ranges over materialized views.
+func (p *Prepared) Rewritten() bool { return p.rw != nil }
+
+// Rewriting returns the view-based rewriting the plan executes, or nil
+// when direct evaluation won.
+func (p *Prepared) Rewriting() *Rewriting { return p.rw }
+
+// PlanKey parses and flattens the query and returns its canonical
+// plan-cache key without running the rewrite search. It is the cheap
+// first step of a cached serving path: on a cache hit, parsing the text
+// and computing the key is all the per-request planning work left.
+func (s *System) PlanKey(sql string) (string, error) {
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return "", err
+	}
+	flat, err := s.flattenMulti(q, anon)
+	if err != nil {
+		return "", err
+	}
+	return core.CanonicalKey(flat), nil
+}
+
+// Prepare is PrepareContext with a background context.
+func (s *System) Prepare(sql string) (*Prepared, error) {
+	return s.PrepareContext(context.Background(), sql)
+}
+
+// PrepareContext extracts an executable plan for the query: it parses,
+// flattens, runs the rewrite search once, picks the cheapest strategy,
+// and packages the result with its cache key and the transitive set of
+// relations it reads. Like PlanContext it degrades gracefully when the
+// search exhausts its candidate budget: the Prepared then executes
+// directly, tagged as a fallback in the tracer.
+func (s *System) PrepareContext(ctx context.Context, sql string) (*Prepared, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := s.flattenMulti(q, anon)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := s.planFlat(ctx, "Prepare", flat, anon)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Key: core.CanonicalKey(flat), rw: rw}
+	if rw != nil {
+		p.Used = append([]string{}, rw.Used...)
+		p.reg, err = s.viewsWithAux(rw)
+	} else {
+		p.direct = q
+		p.reg, err = s.mergedViews(anon)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.Deps = s.planDeps(p)
+	return p, nil
+}
+
+// planDeps walks the plan's FROM sources transitively through the view
+// definitions its registry snapshot resolves, collecting every stored
+// relation name execution may touch.
+func (s *System) planDeps(p *Prepared) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(q *ir.Query)
+	visit = func(q *ir.Query) {
+		for _, t := range q.Tables {
+			n := strings.ToLower(t.Source)
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			out = append(out, n)
+			if v, ok := p.reg.Get(t.Source); ok {
+				visit(v.Def)
+			}
+		}
+	}
+	if p.rw != nil {
+		visit(p.rw.Query)
+		for _, v := range p.rw.Aux {
+			visit(v.Def)
+		}
+	} else {
+		visit(p.direct)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecPrepared is ExecPreparedContext with a background context.
+func (s *System) ExecPrepared(p *Prepared) (*Result, error) {
+	return s.ExecPreparedContext(context.Background(), p)
+}
+
+// ExecPreparedContext executes a prepared plan against the current
+// database state under the usual context/budget regime. The plan's
+// registry snapshot resolves view definitions; the data read is
+// whatever storage currently holds, so a Prepared stays answer-correct
+// across inserts as long as the materialized views it ranges over are
+// kept consistent (TrackView) — the invariant a plan cache preserves by
+// evicting on invalidation.
+func (s *System) ExecPreparedContext(ctx context.Context, p *Prepared) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	if p.rw != nil {
+		return s.evaluator(p.reg).ExecContext(ctx, p.rw.Query)
+	}
+	return s.evaluator(p.reg).ExecContext(ctx, p.direct)
 }
 
 // QueryBest executes the query through its cheapest plan. The second

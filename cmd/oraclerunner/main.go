@@ -13,6 +13,7 @@
 //	go run ./cmd/oraclerunner -duration 5m             # soak: cycle seeds until the clock runs out
 //	go run ./cmd/oraclerunner -timeout 10m             # hard deadline (also stops on SIGINT/SIGTERM)
 //	go run ./cmd/oraclerunner -faults=false            # skip the cancellation-injection pass
+//	go run ./cmd/oraclerunner -wire                    # also check answers through the serving stack
 //	go run ./cmd/oraclerunner -paper                   # paper-faithful rewriter configuration
 //	go run ./cmd/oraclerunner -json ORACLE.json        # machine-readable failure report
 //	go run ./cmd/oraclerunner -replay repro.sql        # re-check one failure script
@@ -39,6 +40,7 @@ import (
 	"aggview/internal/faultinject"
 	"aggview/internal/obs"
 	"aggview/internal/oracle"
+	"aggview/internal/server"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "hard deadline for the whole soak (0: none)")
 	paper := flag.Bool("paper", false, "check the paper-faithful rewriter configuration")
 	faults := flag.Bool("faults", true, "inject seeded cancellations (row/candidate/cache sites) into every trial")
+	wire := flag.Bool("wire", false, "also answer each case through the in-process HTTP serving stack (plan cache on) and check bag equality")
 	jsonOut := flag.String("json", "", "write a failure report to this file")
 	replay := flag.String("replay", "", "re-check a single repro script instead of soaking")
 	verbose := flag.Bool("v", false, "log per-seed progress")
@@ -61,7 +64,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *seedsFlag, *n, *rows, *duration, *paper, *faults, *jsonOut, *replay, *verbose); err != nil {
+	if err := run(ctx, *seedsFlag, *n, *rows, *duration, *paper, *faults, *wire, *jsonOut, *replay, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "oraclerunner:", err)
 		os.Exit(1)
 	}
@@ -78,8 +81,14 @@ func faultSpecs(rng *rand.Rand) []faultinject.Spec {
 	return specs
 }
 
-func run(ctx context.Context, seedsFlag string, n, rows int, duration time.Duration, paper, faults bool, jsonOut, replay string, verbose bool) error {
+func run(ctx context.Context, seedsFlag string, n, rows int, duration time.Duration, paper, faults, wire bool, jsonOut, replay string, verbose bool) error {
 	opt := oracle.Options{PaperFaithful: paper}
+	if wire {
+		// Wire pass: every case is also answered through the in-process
+		// serving stack — admission, plan cache (cold and warm), JSON
+		// codec — and must stay bag-equal to direct evaluation.
+		opt.Serve = server.OracleExec
+	}
 	if replay != "" {
 		return runReplay(replay, opt)
 	}

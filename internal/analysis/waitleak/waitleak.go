@@ -37,13 +37,17 @@ var kernelPkgs = map[string]bool{
 	"oracle":      true,
 	"faultinject": true,
 	"aggview":     true,
+	// The serving layer promises request workers never outlive their
+	// request (the load harness's leak check depends on it), so its
+	// goroutines are held to the same join discipline.
+	"server": true,
 }
 
 // Analyzer flags unjoined go statements in the kernel packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "waitleak",
 	Doc: "flags `go` statements in the kernel and cancellation-harness packages (engine, core, obs, " +
-		"oracle, faultinject, aggview) whose enclosing function " +
+		"oracle, faultinject, aggview, server) whose enclosing function " +
 		"has no join construct (.Wait() call, channel receive, range over channel, select); " +
 		"kernel goroutines must be joined before the kernel returns",
 	Run: run,

@@ -1,0 +1,111 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// LoadReport is the machine-readable emission of one cmd/loadrunner
+// soak: request/latency/shed/cache tallies for a concurrent mixed-
+// tenant run against the serving facade, with every served answer
+// differentially checked against direct evaluation on a mirror system.
+type LoadReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+
+	// Seed is the workload generator seed; the run is reproducible
+	// from it.
+	Seed int64 `json:"seed"`
+	// Sessions is the number of concurrent client sessions.
+	Sessions int `json:"sessions"`
+	// Rounds is the number of frozen-state rounds (mutations apply at
+	// round barriers).
+	Rounds int `json:"rounds"`
+
+	// Requests counts queries issued; OK those answered 200.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	// Mismatches counts served answers that were not bag-equal to
+	// direct evaluation of the same query on the mirror — the soak's
+	// pass/fail core; must be zero.
+	Mismatches int64 `json:"mismatches"`
+	// Shed counts typed admission refusals (HTTP 429).
+	Shed int64 `json:"shed"`
+	// TypedErrors counts non-shed typed failures (canceled, budget,
+	// storage during fault windows).
+	TypedErrors int64 `json:"typed_errors"`
+	// UntypedErrors counts transport or malformed-body failures other
+	// than deliberate client cancels; must be zero.
+	UntypedErrors int64 `json:"untyped_errors"`
+	// ClientCancels counts requests the harness canceled on purpose
+	// mid-flight (disconnect simulation).
+	ClientCancels int64 `json:"client_cancels"`
+	// Inserts counts mutation barriers applied (server + mirror).
+	Inserts int64 `json:"inserts"`
+
+	// CacheHits / CacheMisses are the plan-cache verdicts observed on
+	// answered queries; HitRate = hits / (hits + misses).
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+
+	// ShedRate = shed / requests.
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency percentiles over answered (200) requests, nanoseconds,
+	// computed exactly from the collected sample.
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+
+	// LeakedGoroutines is the post-drain goroutine delta in in-process
+	// mode (always 0 over TCP — the check needs one address space).
+	LeakedGoroutines int `json:"leaked_goroutines"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// NewLoad returns a load report stamped with the runtime configuration.
+func NewLoad(seed int64, sessions, rounds int) *LoadReport {
+	return &LoadReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+		Sessions:   sessions,
+		Rounds:     rounds,
+	}
+}
+
+// Finish computes the derived rates and percentiles from the collected
+// latency sample (sorted ascending by the caller).
+func (r *LoadReport) Finish(sortedLatenciesNs []int64) {
+	if r.Requests > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
+	}
+	if total := r.CacheHits + r.CacheMisses; total > 0 {
+		r.HitRate = float64(r.CacheHits) / float64(total)
+	}
+	if n := len(sortedLatenciesNs); n > 0 {
+		pct := func(p float64) int64 {
+			i := int(p * float64(n-1))
+			return sortedLatenciesNs[i]
+		}
+		r.P50Ns = pct(0.50)
+		r.P90Ns = pct(0.90)
+		r.P99Ns = pct(0.99)
+		r.MaxNs = sortedLatenciesNs[n-1]
+	}
+}
+
+// WriteFile marshals the report, indented, to path.
+func (r *LoadReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

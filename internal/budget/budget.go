@@ -160,6 +160,19 @@ func (m *Meter) AddCacheEntries(site string, n int64) error {
 	return nil
 }
 
+// ReleaseCacheEntries returns n previously charged cache entries to the
+// meter — an eviction refund. It exists for long-lived caches (the
+// server's plan cache charges its entries here): a bounded cache that
+// evicts must account for its *live* size, not its cumulative
+// insertions, or the meter would exhaust after MaxCacheEntries total
+// insertions regardless of evictions.
+func (m *Meter) ReleaseCacheEntries(n int64) {
+	if m == nil {
+		return
+	}
+	m.cacheEntries.Add(-n)
+}
+
 // Rows returns the rows charged so far; 0 on a nil meter.
 func (m *Meter) Rows() int64 {
 	if m == nil {
@@ -174,6 +187,15 @@ func (m *Meter) Candidates() int64 {
 		return 0
 	}
 	return m.candidates.Load()
+}
+
+// CacheEntries returns the cache entries currently charged (insertions
+// minus releases); 0 on a nil meter.
+func (m *Meter) CacheEntries() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cacheEntries.Load()
 }
 
 // Mem returns the bytes charged so far; 0 on a nil meter.

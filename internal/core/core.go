@@ -594,6 +594,15 @@ func (rw *Rewriter) best(st *searchTask, q *ir.Query, cost func(*ir.Query) float
 	return best, nil
 }
 
+// CanonicalKey renders a query in a canonical form that is invariant
+// under FROM-clause reordering and WHERE-conjunct rewriting, so that
+// semantically identical query shapes share one key. The rewrite search
+// uses it to deduplicate candidates (canonicalKey below); the serving
+// layer uses it as the prepared-plan cache key, so repeated query
+// shapes skip the rewrite search entirely. Collision-freedom is the
+// invariant TestCanonicalKeyCollisions guards.
+func CanonicalKey(q *ir.Query) string { return canonicalKey(q) }
+
 // canonicalKey renders a query in a canonical form that is invariant
 // under FROM-clause reordering (and the column renumbering it induces),
 // so that rewritings reached by different view orders deduplicate

@@ -120,8 +120,12 @@ func (r *Relation) Sorted() *Relation {
 type DB struct {
 	rels map[string]*Relation
 
-	mu   sync.Mutex          // guards cols; rels follows the old rule: no Put during queries
+	mu   sync.Mutex           // guards cols; rels follows the old rule: no Put during queries
 	cols map[string]*ColTable // cached columnar images, by lowercased name
+
+	// onInvalidate, when set, observes every Invalidate (see
+	// SetOnInvalidate in storage.go). Guarded by mu; invoked outside it.
+	onInvalidate func(name string)
 }
 
 // NewDB returns an empty database.

@@ -74,10 +74,33 @@ func (db *DB) Scan(name string) (*ColTable, bool, error) {
 }
 
 // Invalidate drops the cached columnar image of a relation whose tuples
-// were mutated in place, so the next scan rebuilds it.
+// were mutated in place, so the next scan rebuilds it, and notifies the
+// registered invalidation hook (see SetOnInvalidate). It is the single
+// seam every mutation path funnels through — Put, the facade's Insert,
+// and incremental view maintenance all call it — which is what lets a
+// plan cache layered above the storage observe every change that could
+// make a prepared plan stale.
 func (db *DB) Invalidate(name string) {
 	db.mu.Lock()
 	delete(db.cols, lowerKey(name))
+	fn := db.onInvalidate
+	db.mu.Unlock()
+	if fn != nil {
+		// Called outside db.mu so the hook may consult the database (or
+		// take its own locks) without deadlocking against a concurrent
+		// Scan.
+		fn(lowerKey(name))
+	}
+}
+
+// SetOnInvalidate registers fn to be called, with the lowercased
+// relation name, after every Invalidate (including the implicit one in
+// Put). The server's plan cache registers its eviction here. Like Put,
+// SetOnInvalidate must not race queries: install the hook before
+// serving. A nil fn unregisters.
+func (db *DB) SetOnInvalidate(fn func(name string)) {
+	db.mu.Lock()
+	db.onInvalidate = fn
 	db.mu.Unlock()
 }
 

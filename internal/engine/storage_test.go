@@ -145,3 +145,31 @@ func TestExecContextCacheEntriesBudget(t *testing.T) {
 		t.Fatalf("two entries should fit a limit of two: %v", err)
 	}
 }
+
+// TestDBOnInvalidateHook pins the invalidation seam the serving layer's
+// plan cache hangs off: the hook fires with the lowercased relation
+// name on every explicit Invalidate and on every Put, and a nil fn
+// unregisters it.
+func TestDBOnInvalidateHook(t *testing.T) {
+	db := NewDB()
+	var fired []string
+	db.SetOnInvalidate(func(name string) { fired = append(fired, name) })
+
+	db.Put("Sales", NewRelation("a"))
+	db.Invalidate("SALES")
+	if len(fired) != 2 || fired[0] != "sales" || fired[1] != "sales" {
+		t.Fatalf("hook observed %v, want [sales sales]", fired)
+	}
+
+	// The hook must be able to consult the database without deadlocking
+	// (it is invoked outside db.mu).
+	db.SetOnInvalidate(func(name string) {
+		if _, _, err := db.Scan("Sales"); err != nil {
+			t.Errorf("hook scan: %v", err)
+		}
+	})
+	db.Invalidate("Sales")
+
+	db.SetOnInvalidate(nil)
+	db.Invalidate("Sales") // must not panic
+}

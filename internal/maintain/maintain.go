@@ -179,6 +179,11 @@ func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
 	}
 
 	rel.Tuples = append(rel.Tuples, rows...)
+	// The columnar image's row-count freshness check would catch this
+	// append on the next scan, but invalidating explicitly also fires
+	// the DB's invalidation hook, which the server's plan cache relies
+	// on to observe every base-table mutation.
+	m.db.Invalidate(table)
 
 	// Recompute the non-incremental dependents now that the base table
 	// includes the new rows.

@@ -108,18 +108,20 @@ func (h *Histogram) snapshot() []int64 {
 // A nil *Metrics is a valid no-op registry: every lookup returns a nil
 // (no-op) counter or histogram without allocating.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	volatile map[string]*Counter
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	volatile  map[string]*Counter
+	hists     map[string]*Histogram
+	volaHists map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		counters: map[string]*Counter{},
-		volatile: map[string]*Counter{},
-		hists:    map[string]*Histogram{},
+		counters:  map[string]*Counter{},
+		volatile:  map[string]*Counter{},
+		hists:     map[string]*Histogram{},
+		volaHists: map[string]*Histogram{},
 	}
 }
 
@@ -174,6 +176,25 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	return h
 }
 
+// VolatileHistogram returns the scheduling-dependent histogram with the
+// given name, creating it on first use; nil on a nil registry. The
+// serving layer records per-request latencies and queue waits here:
+// like volatile counters they are excluded from the determinism
+// contract and from Snapshot.Deterministic().
+func (m *Metrics) VolatileHistogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.volaHists[name]
+	if !ok {
+		h = &Histogram{}
+		m.volaHists[name] = h
+	}
+	return h
+}
+
 // Stopwatch accumulates elapsed nanoseconds into a volatile counter.
 // The zero Stopwatch (from a nil registry) is a no-op and never reads
 // the clock.
@@ -211,6 +232,10 @@ type Snapshot struct {
 	// Volatile holds the scheduling-dependent counters (ns timings,
 	// pool launches, chunk counts). Excluded from Deterministic().
 	Volatile map[string]int64 `json:"volatile,omitempty"`
+	// VolatileHistograms holds the scheduling-dependent histograms
+	// (request latencies, queue waits) as power-of-two bucket counts.
+	// Excluded from Deterministic().
+	VolatileHistograms map[string][]int64 `json:"volatile_histograms,omitempty"`
 }
 
 // Snapshot copies the registry's current values; the zero Snapshot on a
@@ -236,6 +261,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			out.Histograms = map[string][]int64{}
 		}
 		out.Histograms[name] = h.snapshot()
+	}
+	for name, h := range m.volaHists {
+		if out.VolatileHistograms == nil {
+			out.VolatileHistograms = map[string][]int64{}
+		}
+		out.VolatileHistograms[name] = h.snapshot()
 	}
 	return out
 }

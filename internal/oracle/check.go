@@ -49,6 +49,15 @@ type Options struct {
 	// snapshot taken when a violation surfaces then rides along with
 	// the shrunk repro (cmd/oraclerunner).
 	Metrics *obs.Metrics
+	// Serve, when set, adds a wire-level pass: the hook wraps the
+	// compiled system in a serving stack (the oracle stays
+	// transport-agnostic — internal/server supplies OracleExec) and
+	// returns an exec function answering SQL through the full wire
+	// path. The served answer must be bag-equal to the direct
+	// reference at every worker count, on both the cold and the warm
+	// (plan-cache hit) path; mismatches surface as violations with
+	// Fault "wire" / "wire-cached".
+	Serve func(sys *aggview.System) (exec func(ctx context.Context, sql string) (*engine.Relation, error), shutdown func(), err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -217,7 +226,44 @@ func CheckContext(ctx context.Context, c *Case, opt Options) (*Outcome, error) {
 			return nil, err
 		}
 	}
+	if opt.Serve != nil {
+		if err := wirePass(ctx, sys, sql, ref, opt, out); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// wirePass answers the case's query through the serving stack built by
+// opt.Serve and requires bag equality with the direct reference. Each
+// worker count issues two requests, so both the cold (singleflight
+// populate) and the warm (cache hit) plan-cache paths are differential-
+// checked against direct evaluation.
+func wirePass(ctx context.Context, sys *aggview.System, sql string, ref *engine.Relation, opt Options, out *Outcome) error {
+	exec, shutdown, err := opt.Serve(sys)
+	if err != nil {
+		return fmt.Errorf("oracle: serve hook: %w", err)
+	}
+	defer shutdown()
+	for _, w := range opt.Workers {
+		sys.Opts.Workers = w
+		for _, label := range []string{"wire", "wire-cached"} {
+			got, err := exec(ctx, sql)
+			if err != nil {
+				if ctx.Err() != nil {
+					return err
+				}
+				out.Violations = append(out.Violations, Violation{Workers: w, RewritingSQL: sql, Fault: label, Err: err})
+				continue
+			}
+			if !engine.ResultsEqualBag(ref, got) {
+				out.Violations = append(out.Violations, Violation{
+					Workers: w, RewritingSQL: sql, Fault: label, Want: ref, Got: got,
+				})
+			}
+		}
+	}
+	return nil
 }
 
 // dedup drops duplicate tuples (set projection of a relation).

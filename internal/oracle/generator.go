@@ -80,6 +80,13 @@ func (t *genTable) colsOfKind(k colKind) []genCol {
 // view's aggregated columns). About one case in seven is generated with
 // no anchoring at all, keeping fully random shapes in the mix.
 func Generate(rng *rand.Rand, opt GenOptions) *Case {
+	c, _ := generate(rng, opt)
+	return c
+}
+
+// generate is Generate returning the internal table descriptors too, so
+// GenerateWorkload can draw more queries and rows over the same schema.
+func generate(rng *rand.Rand, opt GenOptions) (*Case, []*genTable) {
 	opt = opt.withDefaults()
 	c := &Case{}
 
@@ -143,7 +150,76 @@ func Generate(rng *rand.Rand, opt GenOptions) *Case {
 	// --- query ---
 	anchored := rng.Intn(7) != 0
 	c.Query = genQuery(rng, tables, &c.Views[0].Def, anchored, opt)
-	return c
+	return c, tables
+}
+
+// Workload is a generated serving workload: one random instance plus a
+// pool of query shapes over its schema and a row generator for
+// mutation barriers. Load harnesses (cmd/loadrunner) replay the pool
+// from many concurrent sessions — repeated shapes exercise the serving
+// layer's plan-cache hit path, and Rows supplies inserts that respect
+// the schema's column kinds and declared keys.
+type Workload struct {
+	Case    *Case
+	Queries []QuerySpec
+
+	tables  []*genTable
+	domain  int
+	nextKey map[string]int64
+}
+
+// GenerateWorkload produces one random instance and nQueries query
+// shapes over its schema (the first is the case's own query). The same
+// rng state yields the same workload, so a client harness and a server
+// loaded from the case's script can be built independently from one
+// seed.
+func GenerateWorkload(rng *rand.Rand, opt GenOptions, nQueries int) *Workload {
+	opt = opt.withDefaults()
+	c, tables := generate(rng, opt)
+	w := &Workload{Case: c, tables: tables, domain: opt.Domain, nextKey: map[string]int64{}}
+	for _, t := range tables {
+		w.nextKey[t.spec.Name] = int64(len(t.spec.Rows))
+	}
+	w.Queries = append(w.Queries, c.Query)
+	for len(w.Queries) < nQueries {
+		anchored := rng.Intn(7) != 0
+		w.Queries = append(w.Queries, genQuery(rng, tables, &c.Views[0].Def, anchored, opt))
+	}
+	return w
+}
+
+// TableNames lists the instance's base tables.
+func (w *Workload) TableNames() []string {
+	out := make([]string, len(w.tables))
+	for i, t := range w.tables {
+		out[i] = t.spec.Name
+	}
+	return out
+}
+
+// Rows draws n fresh rows for the named table, honoring its column
+// kinds; a declared key column keeps receiving unique sequential values
+// so the key stays honest across mutation rounds.
+func (w *Workload) Rows(rng *rand.Rand, table string, n int) [][]value.Value {
+	for _, t := range w.tables {
+		if t.spec.Name != table {
+			continue
+		}
+		rows := make([][]value.Value, 0, n)
+		for r := 0; r < n; r++ {
+			row := make([]value.Value, len(t.cols))
+			for ci, c := range t.cols {
+				row[ci] = randomValue(rng, c.kind, w.domain)
+			}
+			if len(t.spec.Key) > 0 {
+				row[0] = value.Int(w.nextKey[table])
+				w.nextKey[table]++
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	return nil
 }
 
 // colName maps 0,1,2,... to A,B,...,Z,A1,B1,...

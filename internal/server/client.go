@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Doer is the slice of http.Client the wire client needs; satisfied by
+// *http.Client and by InProcessExec for transport-free testing.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Client is a typed wire client for one tenant. Errors returned by the
+// server come back as *WireError (switch on Kind); transport failures
+// come back as ordinary errors.
+type Client struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Tenant string
+	HTTP   Doer // defaults to http.DefaultClient
+}
+
+func (c *Client) doer() Doer {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// roundTrip POSTs (or GETs, when in is nil and method says so) and
+// decodes into out, converting error bodies into *WireError.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.doer().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		if jerr := json.Unmarshal(data, &eb); jerr != nil || eb.Error == nil {
+			return fmt.Errorf("server: http %d: %s", resp.StatusCode, data)
+		}
+		eb.Error.Status = resp.StatusCode
+		return eb.Error
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Query runs one SELECT and returns the full response (rows still
+// wire-encoded; use resp.Relation() to decode).
+func (c *Client) Query(ctx context.Context, sql string) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/query", QueryRequest{Tenant: c.Tenant, SQL: sql}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Insert appends wire-encoded rows to a base table.
+func (c *Client) Insert(ctx context.Context, table string, rows [][]string) (*InsertResponse, error) {
+	var resp InsertResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/insert", InsertRequest{Tenant: c.Tenant, Table: table, Rows: rows}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SetFaults installs (k > 0) or clears (k = 0) storage fault injection.
+func (c *Client) SetFaults(ctx context.Context, k int64) error {
+	return c.roundTrip(ctx, http.MethodPost, "/admin/faults", FaultsRequest{K: k}, nil)
+}
+
+// Script fetches a replayable SQL script of the server's current state.
+func (c *Client) Script(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/script", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.doer().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: http %d: %s", resp.StatusCode, data)
+	}
+	return string(data), nil
+}
+
+// Healthz pings the server.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.doer().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: healthz http %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package server
+
+import (
+	"context"
+
+	"aggview"
+	"aggview/internal/engine"
+)
+
+// OracleExec adapts the serving stack to the oracle's wire-pass hook
+// (oracle.Options.Serve): it wraps the compiled system in a Server with
+// default sizing — plan cache on, admission unlimited — and answers SQL
+// through the full in-process wire path (JSON encode, routing,
+// admission, plan cache, typed errors, JSON decode). The returned
+// shutdown detaches the invalidation hook.
+func OracleExec(sys *aggview.System) (func(ctx context.Context, sql string) (*engine.Relation, error), func(), error) {
+	srv := New(sys, Config{})
+	client := &Client{Base: "http://inproc", HTTP: &InProcessExec{S: srv}}
+	exec := func(ctx context.Context, sql string) (*engine.Relation, error) {
+		resp, err := client.Query(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Relation()
+	}
+	return exec, srv.Close, nil
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aggview"
+	"aggview/internal/budget"
+	"aggview/internal/obs"
+)
+
+// cacheSystem builds a small system with enough distinct query shapes
+// to fill and overflow a cache.
+func cacheSystem(t *testing.T) *aggview.System {
+	t.Helper()
+	sys := aggview.New()
+	sys.MustLoad(`
+		CREATE TABLE T(a, b, c);
+		CREATE TABLE U(d, e);
+		CREATE VIEW V AS SELECT a, SUM(b), COUNT(b) FROM T GROUP BY a
+	`)
+	if err := sys.Insert("T",
+		[]aggview.Value{aggview.Int(1), aggview.Int(10), aggview.Int(0)},
+		[]aggview.Value{aggview.Int(1), aggview.Int(20), aggview.Int(1)},
+		[]aggview.Value{aggview.Int(2), aggview.Int(30), aggview.Int(0)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Insert("U",
+		[]aggview.Value{aggview.Int(1), aggview.Int(100)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Materialize("V"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func mustPrepare(t *testing.T, sys *aggview.System, sql string) (string, *aggview.Prepared) {
+	t.Helper()
+	key, err := sys.PlanKey(sql)
+	if err != nil {
+		t.Fatalf("PlanKey(%q): %v", sql, err)
+	}
+	p, err := sys.Prepare(sql)
+	if err != nil {
+		t.Fatalf("Prepare(%q): %v", sql, err)
+	}
+	return key, p
+}
+
+// TestPlanCacheAccounting pins hit/miss/eviction bookkeeping: the
+// budget meter's live cache-entry charge always equals the entry count,
+// the LRU evicts the cold end at capacity, and verdicts are reported
+// truthfully.
+func TestPlanCacheAccounting(t *testing.T) {
+	sys := cacheSystem(t)
+	m := obs.NewMetrics()
+	c := NewPlanCache(2, m)
+	ctx := context.Background()
+
+	sqls := []string{
+		"SELECT a FROM T",
+		"SELECT b FROM T",
+		"SELECT c FROM T",
+	}
+	keys := make([]string, len(sqls))
+	for i, sql := range sqls[:2] {
+		key, p := mustPrepare(t, sys, sql)
+		keys[i] = key
+		_, verdict, err := c.GetOrPrepare(ctx, key, func() (*aggview.Prepared, error) { return p, nil })
+		if err != nil || verdict != "miss" {
+			t.Fatalf("populate %q: verdict=%q err=%v", sql, verdict, err)
+		}
+	}
+	if c.Len() != 2 || c.Entries() != 2 {
+		t.Fatalf("after 2 inserts: Len=%d Entries=%d, want 2/2", c.Len(), c.Entries())
+	}
+	// Re-reading the first key must be a hit and refresh its LRU slot.
+	if _, verdict, _ := c.GetOrPrepare(ctx, keys[0], nil); verdict != "hit" {
+		t.Fatalf("expected hit on %q, got %q", sqls[0], verdict)
+	}
+	// A third key evicts the least recently used (keys[1], not keys[0]).
+	key2, p2 := mustPrepare(t, sys, sqls[2])
+	keys[2] = key2
+	if _, verdict, err := c.GetOrPrepare(ctx, key2, func() (*aggview.Prepared, error) { return p2, nil }); verdict != "miss" || err != nil {
+		t.Fatalf("third insert: verdict=%q err=%v", verdict, err)
+	}
+	if c.Len() != 2 || c.Entries() != 2 {
+		t.Fatalf("after eviction: Len=%d Entries=%d, want 2/2", c.Len(), c.Entries())
+	}
+	if m.Volatile("server.plancache.evict").Load() != 1 {
+		t.Fatalf("evictions=%d, want 1", m.Volatile("server.plancache.evict").Load())
+	}
+	if _, verdict, _ := c.GetOrPrepare(ctx, keys[0], nil); verdict != "hit" {
+		t.Fatal("recently used key was evicted instead of the LRU one")
+	}
+	if _, verdict, _ := c.GetOrPrepare(ctx, keys[1], func() (*aggview.Prepared, error) {
+		_, p := mustPrepare(t, sys, sqls[1])
+		return p, nil
+	}); verdict != "miss" {
+		t.Fatal("LRU key survived eviction")
+	}
+	stats := c.Stats()
+	if stats.Size != 2 || stats.Capacity != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestPlanCacheInvalidation pins the relation-dependency eviction: only
+// plans whose transitive dependency set contains the mutated relation
+// are dropped, matching case-insensitively.
+func TestPlanCacheInvalidation(t *testing.T) {
+	sys := cacheSystem(t)
+	c := NewPlanCache(8, obs.NewMetrics())
+	ctx := context.Background()
+
+	overT, pT := mustPrepare(t, sys, "SELECT a, SUM(b) FROM T GROUP BY a")
+	overU, pU := mustPrepare(t, sys, "SELECT d FROM U")
+	for _, e := range []struct {
+		key string
+		p   *aggview.Prepared
+	}{{overT, pT}, {overU, pU}} {
+		e := e
+		if _, _, err := c.GetOrPrepare(ctx, e.key, func() (*aggview.Prepared, error) { return e.p, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.InvalidateRelation("t") // lowercased, as the DB hook delivers it
+	if _, verdict, _ := c.GetOrPrepare(ctx, overU, nil); verdict != "hit" {
+		t.Fatal("plan over U was evicted by an invalidation of T")
+	}
+	if _, verdict, _ := c.GetOrPrepare(ctx, overT, func() (*aggview.Prepared, error) { return pT, nil }); verdict != "miss" {
+		t.Fatal("plan over T survived invalidation of its base relation")
+	}
+
+	// A plan that ranges over the view must also depend on the view's
+	// base table (transitive deps through the registry).
+	if len(pT.Deps) == 0 {
+		t.Fatal("prepared plan reports no dependencies")
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Entries() != 0 {
+		t.Fatalf("after flush: Len=%d Entries=%d", c.Len(), c.Entries())
+	}
+}
+
+// TestPlanCacheSingleflight runs many concurrent misses on one key
+// (under -race in CI): exactly one caller prepares, everyone gets the
+// same plan, and the accounting records one entry.
+func TestPlanCacheSingleflight(t *testing.T) {
+	sys := cacheSystem(t)
+	c := NewPlanCache(8, obs.NewMetrics())
+	key, p := mustPrepare(t, sys, "SELECT a FROM T")
+
+	var prepares atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines = 32
+	results := make([]*aggview.Prepared, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := c.GetOrPrepare(context.Background(), key, func() (*aggview.Prepared, error) {
+				prepares.Add(1)
+				time.Sleep(2 * time.Millisecond) // widen the window
+				return p, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = got
+		}(i)
+	}
+	wg.Wait()
+	if n := prepares.Load(); n != 1 {
+		t.Fatalf("prepare ran %d times, want 1", n)
+	}
+	for i, got := range results {
+		if got != p {
+			t.Fatalf("goroutine %d got a different plan", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", c.Len())
+	}
+}
+
+// TestPlanCacheErrorsNotCached pins that a failed population leaves no
+// entry and followers receive the leader's error.
+func TestPlanCacheErrorsNotCached(t *testing.T) {
+	c := NewPlanCache(8, obs.NewMetrics())
+	boom := fmt.Errorf("planner exploded")
+	_, verdict, err := c.GetOrPrepare(context.Background(), "k", func() (*aggview.Prepared, error) {
+		return nil, boom
+	})
+	if err != boom || verdict != "miss" {
+		t.Fatalf("got verdict=%q err=%v", verdict, err)
+	}
+	if c.Len() != 0 || c.Entries() != 0 {
+		t.Fatalf("error was cached: Len=%d Entries=%d", c.Len(), c.Entries())
+	}
+}
+
+// TestPlanCacheGenerationBarsStaleInsert pins the population race: a
+// relation invalidated while the leader is preparing means the finished
+// plan may reflect pre-mutation state, so it must not enter the cache.
+func TestPlanCacheGenerationBarsStaleInsert(t *testing.T) {
+	sys := cacheSystem(t)
+	c := NewPlanCache(8, obs.NewMetrics())
+	key, p := mustPrepare(t, sys, "SELECT a, SUM(b) FROM T GROUP BY a")
+
+	got, verdict, err := c.GetOrPrepare(context.Background(), key, func() (*aggview.Prepared, error) {
+		// Concurrent mutation lands mid-preparation.
+		c.InvalidateRelation("t")
+		return p, nil
+	})
+	if err != nil || verdict != "miss" || got != p {
+		t.Fatalf("got verdict=%q err=%v", verdict, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("plan prepared across an invalidation entered the cache")
+	}
+}
+
+// TestPlanCacheFollowerCancel pins that a follower whose context dies
+// while waiting for the leader unblocks with a typed cancellation.
+func TestPlanCacheFollowerCancel(t *testing.T) {
+	c := NewPlanCache(8, obs.NewMetrics())
+	block := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrPrepare(context.Background(), "k", func() (*aggview.Prepared, error) {
+			close(leaderIn)
+			<-block
+			return nil, fmt.Errorf("never cached")
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrPrepare(ctx, "k", nil)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !budget.IsCanceled(err) {
+			t.Fatalf("follower returned %v, want typed Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower hung on a dead context")
+	}
+	close(block)
+}
+
+// TestPlanCacheDisabled pins bypass behavior.
+func TestPlanCacheDisabled(t *testing.T) {
+	c := NewPlanCache(0, nil)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, verdict, err := c.GetOrPrepare(context.Background(), "k", func() (*aggview.Prepared, error) {
+			calls++
+			return nil, nil
+		})
+		if err != nil || verdict != "bypass" {
+			t.Fatalf("verdict=%q err=%v", verdict, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("prepare calls=%d, want 2 (no caching)", calls)
+	}
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"aggview"
+	"aggview/internal/budget"
+	"aggview/internal/engine"
+	"aggview/internal/faultinject"
+	"aggview/internal/obs"
+)
+
+// Config sizes the serving facade.
+type Config struct {
+	// CacheSize bounds the prepared-plan cache in entries; 0 means the
+	// default (256), negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds queries executing simultaneously; 0 means
+	// the default (4 × GOMAXPROCS), negative disables the gate.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting at the global gate; 0 means
+	// the default (64).
+	QueueDepth int
+	// MaxWait bounds the wait at the global gate; 0 means 500ms.
+	MaxWait time.Duration
+	// DefaultTenant is the admission config for tenants not listed in
+	// Tenants (the zero value means unlimited rate, no engine budgets).
+	DefaultTenant TenantConfig
+	// Tenants holds per-tenant admission configs.
+	Tenants map[string]TenantConfig
+	// Metrics receives request, cache, shed and latency counters; a
+	// fresh registry is created when nil. The registry is also installed
+	// on the system so engine kernel counters flow into the same place.
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 500 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// Server is the multi-tenant HTTP facade over one aggview.System. All
+// access to the system goes through an RWMutex: queries share a read
+// lock, mutations (inserts, fault installation) take the write lock,
+// so the engine's "no Put during queries" rule holds under concurrent
+// clients. Plan-cache invalidation is wired to the database's
+// invalidation hook, so every mutation path evicts the plans it could
+// stale.
+type Server struct {
+	sys     *aggview.System
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *PlanCache
+	adm     *Admission
+	mux     *http.ServeMux
+
+	// mu serializes mutations against in-flight queries.
+	mu sync.RWMutex
+}
+
+// New wraps a loaded system in a serving facade. It installs the plan
+// cache's eviction on the database's invalidation hook and the metrics
+// registry on the system; both are undone by Close.
+func New(sys *aggview.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:     sys,
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		cache:   NewPlanCache(cfg.CacheSize, cfg.Metrics),
+		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.MaxConcurrent, cfg.QueueDepth, cfg.MaxWait, cfg.Metrics),
+	}
+	if sys.Metrics == nil {
+		sys.Metrics = cfg.Metrics
+	}
+	sys.DB.SetOnInvalidate(s.cache.InvalidateRelation)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /insert", s.handleInsert)
+	s.mux.HandleFunc("POST /admin/faults", s.handleFaults)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /script", s.handleScript)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close detaches the server from its system (invalidation hook,
+// metrics stay). Safe to call once no requests are in flight.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.DB.SetOnInvalidate(nil)
+}
+
+// Cache exposes the plan cache (tests and /metrics).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Admission exposes the admission controller (tests and /metrics).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// badQueryError tags parse/plan-stage failures so they map to 400
+// rather than 500.
+type badQueryError struct{ err error }
+
+func (e *badQueryError) Error() string { return e.err.Error() }
+func (e *badQueryError) Unwrap() error { return e.err }
+
+// handleQuery is the hot path: admit, budget, plan through the cache,
+// execute, encode. The response body is marshalled fully before the
+// first byte is written, so a client never observes a partial result —
+// any failure, including a storage fault mid-query, surfaces as a
+// complete typed JSON error.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, "", ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	tenant := req.Tenant
+	s.metrics.Volatile("server.requests").Inc()
+
+	cfg, release, err := s.adm.Acquire(r.Context(), tenant)
+	if err != nil {
+		s.writeTypedError(w, tenant, err)
+		return
+	}
+	defer release()
+
+	ctx := r.Context() // canceled when the client disconnects
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	if cfg.MaxRows > 0 || cfg.MaxCandidates > 0 || cfg.MaxMemBytes > 0 {
+		ctx = budget.WithMeter(ctx, budget.NewMeter(budget.Limits{
+			MaxRows:       cfg.MaxRows,
+			MaxCandidates: cfg.MaxCandidates,
+			MaxMemBytes:   cfg.MaxMemBytes,
+		}))
+	}
+
+	s.mu.RLock()
+	res, used, verdict, err := s.execute(ctx, req.SQL)
+	s.mu.RUnlock()
+	if err != nil {
+		s.writeTypedError(w, tenant, err)
+		return
+	}
+	attrs, rows := EncodeRelation(res)
+	s.metrics.VolatileHistogram("server.latency_ns").Observe(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Attrs:     attrs,
+		Rows:      rows,
+		Used:      used,
+		Cache:     verdict,
+		ElapsedNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// execute resolves the query through the plan cache and runs it. Caller
+// holds the read lock.
+func (s *Server) execute(ctx context.Context, sql string) (*engine.Relation, []string, string, error) {
+	key, err := s.sys.PlanKey(sql)
+	if err != nil {
+		return nil, nil, "", &badQueryError{err}
+	}
+	p, verdict, err := s.cache.GetOrPrepare(ctx, key, func() (*aggview.Prepared, error) {
+		return s.sys.PrepareContext(ctx, sql)
+	})
+	if err != nil {
+		if !budget.IsTransient(err) {
+			err = &badQueryError{err}
+		}
+		return nil, nil, verdict, err
+	}
+	res, err := s.sys.ExecPreparedContext(ctx, p)
+	if err != nil {
+		return nil, nil, verdict, err
+	}
+	return res, p.Used, verdict, nil
+}
+
+// handleInsert appends rows to a base table under the write lock.
+// Tracked views are maintained incrementally by the facade; the
+// database's invalidation hook then evicts every cached plan that
+// reads the mutated relations, so the next query of an affected shape
+// replans — a stale answer through the cache is impossible.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, "", ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	_, release, err := s.adm.Acquire(r.Context(), req.Tenant)
+	if err != nil {
+		s.writeTypedError(w, req.Tenant, err)
+		return
+	}
+	defer release()
+	rows, err := DecodeRows(req.Rows)
+	if err != nil {
+		s.writeError(w, req.Tenant, ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.sys.Insert(req.Table, rows...)
+	s.mu.Unlock()
+	if err != nil {
+		s.writeError(w, req.Tenant, ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.Volatile("server.inserts").Inc()
+	writeJSON(w, http.StatusOK, InsertResponse{Inserted: len(rows)})
+}
+
+// handleFaults installs (k > 0) or clears (k = 0) an error-injecting
+// storage backend, for the load harness's fault windows.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var req FaultsRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, "", ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if req.K > 0 {
+		s.sys.Store = engine.NewFaultStorage(s.sys.DB, req.K)
+	} else {
+		s.sys.Store = nil
+	}
+	s.mu.Unlock()
+	s.metrics.Volatile("server.faults.toggle").Inc()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metrics":    snap,
+		"plan_cache": s.cache.Stats(),
+		"admission": map[string]any{
+			"in_flight": s.adm.InFlight(),
+			"queued":    s.adm.Queued(),
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleScript renders the current catalog, table contents and view
+// definitions as a replayable SQL script, so an external load harness
+// can build a local reference system to check served answers against.
+func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	var b strings.Builder
+	for _, t := range s.sys.Catalog.Tables() {
+		b.WriteString("CREATE TABLE " + t.Name + "(" + strings.Join(t.Columns, ", ") + ")")
+		for _, k := range t.Keys {
+			b.WriteString(" KEY(" + strings.Join(k, ", ") + ")")
+		}
+		for _, fd := range t.FDs {
+			b.WriteString(" FD(" + strings.Join(fd.From, ", ") + " -> " + strings.Join(fd.To, ", ") + ")")
+		}
+		b.WriteString(";\n")
+		if rel, ok := s.sys.DB.Get(t.Name); ok && rel.Len() > 0 {
+			b.WriteString("INSERT INTO " + t.Name + " VALUES ")
+			for i, row := range rel.Tuples {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				parts := make([]string, len(row))
+				for j, v := range row {
+					parts[j] = v.String()
+				}
+				b.WriteString("(" + strings.Join(parts, ", ") + ")")
+			}
+			b.WriteString(";\n")
+		}
+	}
+	for _, v := range s.sys.Views.All() {
+		b.WriteString(v.SQL() + ";\n")
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/sql")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// writeTypedError maps an execution error onto the wire taxonomy.
+func (s *Server) writeTypedError(w http.ResponseWriter, tenant string, err error) {
+	var shed *ShedError
+	var injected *faultinject.Injected
+	var badQuery *badQueryError
+	switch {
+	case errors.As(err, &shed):
+		s.metrics.Volatile("server.errors.shed").Inc()
+		we := &WireError{Kind: ErrKindShed, Message: err.Error(), Tenant: tenant, RetryAfterMs: shed.RetryAfter.Milliseconds()}
+		retrySec := int64(shed.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retrySec))
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: we})
+	case budget.IsCanceled(err):
+		s.metrics.Volatile("server.errors.canceled").Inc()
+		s.writeError(w, tenant, ErrKindCanceled, http.StatusGatewayTimeout, err)
+	case budget.IsExceeded(err):
+		s.metrics.Volatile("server.errors.budget").Inc()
+		s.writeError(w, tenant, ErrKindBudget, http.StatusUnprocessableEntity, err)
+	case errors.As(err, &injected):
+		s.metrics.Volatile("server.errors.storage").Inc()
+		s.writeError(w, tenant, ErrKindStorage, http.StatusBadGateway, err)
+	case errors.As(err, &badQuery):
+		s.metrics.Volatile("server.errors.bad_query").Inc()
+		s.writeError(w, tenant, ErrKindBadQuery, http.StatusBadRequest, err)
+	default:
+		s.metrics.Volatile("server.errors.internal").Inc()
+		s.writeError(w, tenant, ErrKindInternal, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, tenant, kind string, status int, err error) {
+	writeJSON(w, status, ErrorBody{Error: &WireError{Kind: kind, Message: err.Error(), Tenant: tenant}})
+}
+
+// writeJSON marshals fully, then writes headers and body in one go —
+// the invariant that makes partial response bodies impossible.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshalling our own response types cannot fail; defend anyway.
+		http.Error(w, `{"error":{"kind":"internal","message":"encode failure"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggview"
+	"aggview/internal/engine"
+	"aggview/internal/obs"
+)
+
+// servedSystem builds a system with a tracked aggregation view, so
+// inserts through the server maintain the view and fire invalidation.
+func servedSystem(t *testing.T) *aggview.System {
+	t.Helper()
+	sys := aggview.New()
+	sys.MustLoad(`
+		CREATE TABLE Sales(region, amount, qty);
+		CREATE VIEW Totals AS SELECT region, SUM(amount), COUNT(amount) FROM Sales GROUP BY region
+	`)
+	if err := sys.Insert("Sales",
+		[]aggview.Value{aggview.Str("n"), aggview.Int(10), aggview.Int(1)},
+		[]aggview.Value{aggview.Str("n"), aggview.Int(20), aggview.Int(2)},
+		[]aggview.Value{aggview.Str("s"), aggview.Int(5), aggview.Int(1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.TrackView("Totals"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testClient(t *testing.T, sys *aggview.System, cfg Config) (*Client, *Server) {
+	t.Helper()
+	srv := New(sys, cfg)
+	t.Cleanup(srv.Close)
+	return &Client{Base: "http://test", HTTP: &InProcessExec{S: srv}}, srv
+}
+
+// TestServerQueryRoundTrip pins the full wire path: the served answer
+// is bag-equal to direct evaluation, and a repeated shape hits the plan
+// cache.
+func TestServerQueryRoundTrip(t *testing.T) {
+	sys := servedSystem(t)
+	c, _ := testClient(t, sys, Config{})
+	ctx := context.Background()
+	const sql = "SELECT region, SUM(amount) FROM Sales GROUP BY region"
+
+	want, err := sys.QueryContext(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "miss" {
+		t.Fatalf("first request cache=%q, want miss", resp.Cache)
+	}
+	got, err := resp.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.ResultsEqualBag(want, got) {
+		t.Fatalf("served answer differs from direct:\nwant %v\ngot %v", want, got)
+	}
+
+	// Same shape, different spelling: canonical key matches, cache hits,
+	// same answer.
+	resp2, err := c.Query(ctx, "SELECT region, SUM(amount) FROM Sales AS Sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cache != "hit" {
+		t.Fatalf("second request cache=%q, want hit", resp2.Cache)
+	}
+	got2, _ := resp2.Relation()
+	if !engine.ResultsEqualBag(want, got2) {
+		t.Fatal("cache hit changed the answer")
+	}
+}
+
+// TestServerStaleImpossible is the cache-transparency gate: after
+// /insert mutates a base relation (maintaining the tracked view), a
+// repeated query must replan and reflect the new rows exactly — a
+// stale cached answer is a hard failure.
+func TestServerStaleImpossible(t *testing.T) {
+	sys := servedSystem(t)
+	c, srv := testClient(t, sys, Config{})
+	ctx := context.Background()
+	const sql = "SELECT region, SUM(amount) FROM Sales GROUP BY region"
+
+	before, err := c.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, sql); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+
+	rows := EncodeRows([][]aggview.Value{{aggview.Str("n"), aggview.Int(100), aggview.Int(3)}})
+	if _, err := c.Insert(ctx, "Sales", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := c.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache != "miss" {
+		t.Fatalf("post-insert request cache=%q, want miss (plan must be invalidated)", after.Cache)
+	}
+	want, err := sys.QueryContext(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRel, _ := after.Relation()
+	if !engine.ResultsEqualBag(want, gotRel) {
+		t.Fatalf("served answer is stale:\nwant %v\ngot %v", want, gotRel)
+	}
+	beforeRel, _ := before.Relation()
+	if engine.ResultsEqualBag(beforeRel, gotRel) {
+		t.Fatal("insert did not change the aggregate — test lost its teeth")
+	}
+	if srv.Cache().Stats().Invalidated == 0 {
+		t.Fatal("no cached plan was invalidated by the insert")
+	}
+}
+
+// blockingStorage parks every Scan on a gate channel, simulating a
+// storage backend that is slow enough for the client to give up.
+type blockingStorage struct {
+	inner   engine.Storage
+	gate    chan struct{}
+	scanned chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingStorage) Scan(name string) (*engine.ColTable, bool, error) {
+	b.once.Do(func() { close(b.scanned) })
+	<-b.gate
+	return b.inner.Scan(name)
+}
+
+// TestServerDisconnectCancels pins the fault path the load harness
+// leans on: a client that goes away mid-query unwinds the engine with
+// a typed cancellation (504 over the wire), and the worker goroutine
+// drains — no leak.
+func TestServerDisconnectCancels(t *testing.T) {
+	sys := servedSystem(t)
+	bs := &blockingStorage{inner: sys.DB, gate: make(chan struct{}), scanned: make(chan struct{})}
+	sys.Store = bs
+	c, _ := testClient(t, sys, Config{})
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, "SELECT region FROM Sales")
+		done <- err
+	}()
+
+	<-bs.scanned // the engine is inside the blocked scan
+	cancel()     // client disconnects
+	close(bs.gate)
+
+	select {
+	case err := <-done:
+		var we *WireError
+		if !errors.As(err, &we) || we.Kind != ErrKindCanceled {
+			t.Fatalf("disconnected query returned %v, want typed %s", err, ErrKindCanceled)
+		}
+		if we.Status != http.StatusGatewayTimeout {
+			t.Fatalf("status=%d, want 504", we.Status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnected query never unwound")
+	}
+
+	leaked := 0
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 0 {
+			leaked = 0
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked > 0 {
+		t.Fatalf("%d goroutines leaked after disconnect", leaked)
+	}
+}
+
+// TestServerStorageFaultTyped pins the other fault path: an injected
+// storage failure surfaces as a complete typed JSON error body (502,
+// kind "storage"), never a partial result, and clearing the fault
+// restores service.
+func TestServerStorageFaultTyped(t *testing.T) {
+	sys := servedSystem(t)
+	c, _ := testClient(t, sys, Config{})
+	ctx := context.Background()
+	const sql = "SELECT region, qty FROM Sales"
+
+	if err := c.SetFaults(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Query(ctx, sql)
+	var we *WireError
+	if !errors.As(err, &we) || we.Kind != ErrKindStorage {
+		t.Fatalf("faulted query returned %v, want typed %s", err, ErrKindStorage)
+	}
+	if we.Status != http.StatusBadGateway {
+		t.Fatalf("status=%d, want 502", we.Status)
+	}
+
+	if err := c.SetFaults(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(ctx, sql)
+	if err != nil {
+		t.Fatalf("after clearing faults: %v", err)
+	}
+	want, _ := sys.QueryContext(ctx, sql)
+	got, _ := resp.Relation()
+	if !engine.ResultsEqualBag(want, got) {
+		t.Fatal("post-fault answer differs from direct")
+	}
+}
+
+// TestServerErrorBodiesComplete drives the raw handler and checks that
+// every error response is one complete JSON document of the wire error
+// shape — the "no partial bodies" invariant at the HTTP layer.
+func TestServerErrorBodiesComplete(t *testing.T) {
+	sys := servedSystem(t)
+	srv := New(sys, Config{})
+	defer srv.Close()
+	exec := &InProcessExec{S: srv}
+
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantKind string
+	}{
+		{"malformed json", `{"sql": `, http.StatusBadRequest, ErrKindBadRequest},
+		{"unknown field", `{"sql": "SELECT 1", "nope": true}`, http.StatusBadRequest, ErrKindBadRequest},
+		{"parse error", `{"sql": "SELEKT x FROM y"}`, http.StatusBadRequest, ErrKindBadQuery},
+		{"unknown table", `{"sql": "SELECT z FROM Nowhere"}`, http.StatusBadRequest, ErrKindBadQuery},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(http.MethodPost, "http://test/query", strings.NewReader(tc.body))
+		resp, err := exec.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: status=%d, want %d", tc.name, resp.StatusCode, tc.wantCode)
+		}
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == nil {
+			t.Fatalf("%s: error body is not a complete ErrorBody document: %v", tc.name, err)
+		}
+		if eb.Error.Kind != tc.wantKind {
+			t.Errorf("%s: kind=%q, want %q", tc.name, eb.Error.Kind, tc.wantKind)
+		}
+	}
+}
+
+// TestServerShedOverWire pins the 429 mapping: a rate-limited tenant
+// receives kind "shed" with a Retry-After hint while other tenants are
+// unaffected.
+func TestServerShedOverWire(t *testing.T) {
+	sys := servedSystem(t)
+	cfg := Config{Tenants: map[string]TenantConfig{
+		"limited": {Rate: 1, Burst: 1, MaxWait: 5 * time.Millisecond},
+	}}
+	srv := New(sys, cfg)
+	defer srv.Close()
+	exec := &InProcessExec{S: srv}
+	limited := &Client{Base: "http://test", HTTP: exec, Tenant: "limited"}
+	free := &Client{Base: "http://test", HTTP: exec, Tenant: "free"}
+	ctx := context.Background()
+	const sql = "SELECT region FROM Sales"
+
+	if _, err := limited.Query(ctx, sql); err != nil {
+		t.Fatal(err)
+	}
+	_, err := limited.Query(ctx, sql)
+	var we *WireError
+	if !errors.As(err, &we) || we.Kind != ErrKindShed {
+		t.Fatalf("burst overflow returned %v, want typed shed", err)
+	}
+	if we.Status != http.StatusTooManyRequests {
+		t.Fatalf("status=%d, want 429", we.Status)
+	}
+	if we.RetryAfterMs <= 0 {
+		t.Fatal("shed carries no retry hint")
+	}
+	if _, err := free.Query(ctx, sql); err != nil {
+		t.Fatalf("unlimited tenant was starved: %v", err)
+	}
+}
+
+// TestServerConcurrentMixedLoad runs queries, inserts and repeated
+// shapes from many goroutines (meaningful under -race): every answer
+// stays bag-equal to a direct evaluation taken under the same lock
+// discipline, and the cache keeps hitting.
+func TestServerConcurrentMixedLoad(t *testing.T) {
+	sys := servedSystem(t)
+	m := obs.NewMetrics()
+	c, srv := testClient(t, sys, Config{Metrics: m})
+	ctx := context.Background()
+	sqls := []string{
+		"SELECT region, SUM(amount) FROM Sales GROUP BY region",
+		"SELECT region, qty FROM Sales",
+		"SELECT SUM(qty) FROM Sales",
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if g == 0 && i%5 == 4 {
+					rows := EncodeRows([][]aggview.Value{{aggview.Str("w"), aggview.Int(int64(i)), aggview.Int(1)}})
+					if _, err := c.Insert(ctx, "Sales", rows); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if _, err := c.Query(ctx, sqls[(g+i)%len(sqls)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := srv.Cache().Stats()
+	if stats.Hits == 0 {
+		t.Fatal("no cache hits across repeated shapes")
+	}
+	if stats.Invalidated == 0 {
+		t.Fatal("inserts never invalidated a cached plan")
+	}
+
+	// Final consistency: each shape's served answer equals direct.
+	for _, sql := range sqls {
+		resp, err := c.Query(ctx, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sys.QueryContext(ctx, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := resp.Relation()
+		if !engine.ResultsEqualBag(want, got) {
+			t.Fatalf("%s: served answer differs from direct after mixed load", sql)
+		}
+	}
+}
+
+// TestServerMetricsEndpoint sanity-checks the observability surface.
+func TestServerMetricsEndpoint(t *testing.T) {
+	sys := servedSystem(t)
+	srv := New(sys, Config{})
+	defer srv.Close()
+	exec := &InProcessExec{S: srv}
+	c := &Client{Base: "http://test", HTTP: exec}
+	if _, err := c.Query(context.Background(), "SELECT region FROM Sales"); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, "http://test/metrics", nil)
+	resp, err := exec.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status=%d", resp.StatusCode)
+	}
+	var body map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"metrics", "plan_cache", "admission"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("metrics body lacks %q", key)
+		}
+	}
+}

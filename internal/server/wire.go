@@ -1,0 +1,215 @@
+// Package server is the multi-tenant serving facade over an
+// aggview.System: a stdlib-HTTP front end that accepts SQL from many
+// concurrent clients, admits requests through per-tenant token buckets
+// with bounded queueing and typed shedding, answers them through a
+// prepared-plan cache keyed on the canonical query key (so repeated
+// query shapes skip parse-flatten-search planning), and keeps every
+// cached plan transparent: a cache hit never yields an answer a fresh
+// plan would not have produced at the same instant. See DESIGN.md
+// section 12.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aggview/internal/engine"
+	"aggview/internal/value"
+)
+
+// The wire encoding for scalar values is a one-byte type tag, a colon,
+// and the payload. Integers ride as decimal text (never through
+// float64, so int64 values beyond 2^53 round-trip exactly), floats as
+// strconv 'g'/-1 (shortest exact round-trip), strings verbatim after
+// the tag (they may contain any byte including ':' and newlines —
+// everything after the first colon is payload), and booleans as T/F.
+const (
+	tagInt    = 'i'
+	tagFloat  = 'f'
+	tagString = 's'
+	tagBool   = 'b'
+)
+
+// EncodeValue renders a scalar for the wire.
+func EncodeValue(v value.Value) string {
+	switch v.Kind() {
+	case value.KindInt:
+		return "i:" + strconv.FormatInt(v.AsInt(), 10)
+	case value.KindFloat:
+		return "f:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case value.KindString:
+		return "s:" + v.AsString()
+	case value.KindBool:
+		if v.AsBool() {
+			return "b:T"
+		}
+		return "b:F"
+	default:
+		return "?:"
+	}
+}
+
+// DecodeValue parses a wire-encoded scalar.
+func DecodeValue(s string) (value.Value, error) {
+	i := strings.IndexByte(s, ':')
+	if i != 1 {
+		return value.Value{}, fmt.Errorf("server: malformed wire value %q", s)
+	}
+	payload := s[2:]
+	switch s[0] {
+	case tagInt:
+		n, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("server: bad int %q: %w", payload, err)
+		}
+		return value.Int(n), nil
+	case tagFloat:
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("server: bad float %q: %w", payload, err)
+		}
+		return value.Float(f), nil
+	case tagString:
+		return value.Str(payload), nil
+	case tagBool:
+		switch payload {
+		case "T":
+			return value.Bool(true), nil
+		case "F":
+			return value.Bool(false), nil
+		}
+		return value.Value{}, fmt.Errorf("server: bad bool %q", payload)
+	default:
+		return value.Value{}, fmt.Errorf("server: unknown wire tag %q", s[0])
+	}
+}
+
+// EncodeRows renders a tuple multiset for the wire.
+func EncodeRows(tuples [][]value.Value) [][]string {
+	out := make([][]string, len(tuples))
+	for i, t := range tuples {
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = EncodeValue(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// DecodeRows parses wire rows back into tuples.
+func DecodeRows(rows [][]string) ([][]value.Value, error) {
+	out := make([][]value.Value, len(rows))
+	for i, r := range rows {
+		t := make([]value.Value, len(r))
+		for j, s := range r {
+			v, err := DecodeValue(s)
+			if err != nil {
+				return nil, fmt.Errorf("server: row %d col %d: %w", i, j, err)
+			}
+			t[j] = v
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// EncodeRelation renders a result relation for the wire.
+func EncodeRelation(r *engine.Relation) ([]string, [][]string) {
+	return append([]string{}, r.Attrs...), EncodeRows(r.Tuples)
+}
+
+// DecodeRelation parses wire attrs+rows back into a relation.
+func DecodeRelation(attrs []string, rows [][]string) (*engine.Relation, error) {
+	tuples, err := DecodeRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Relation{Attrs: append([]string{}, attrs...), Tuples: tuples}, nil
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Tenant names the quota bucket the request is admitted under;
+	// empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// SQL is a single SELECT statement.
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the success body of POST /query.
+type QueryResponse struct {
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+	// Used names the materialized views the executed plan ranged over;
+	// empty for direct evaluation.
+	Used []string `json:"used,omitempty"`
+	// Cache reports the plan-cache outcome: "hit", "miss", or
+	// "bypass" (cache disabled).
+	Cache string `json:"cache"`
+	// ElapsedNs is the server-side wall time for the request after
+	// admission (planning + execution + encoding).
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// Relation reassembles the response rows into an engine relation.
+func (r *QueryResponse) Relation() (*engine.Relation, error) {
+	return DecodeRelation(r.Attrs, r.Rows)
+}
+
+// InsertRequest is the body of POST /insert.
+type InsertRequest struct {
+	Tenant string     `json:"tenant,omitempty"`
+	Table  string     `json:"table"`
+	Rows   [][]string `json:"rows"`
+}
+
+// InsertResponse is the success body of POST /insert.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// FaultsRequest is the body of POST /admin/faults: K>0 installs an
+// engine.FaultStorage failing from the K-th scan on; K=0 clears it.
+// The load harness uses it to open and close fault windows over the
+// wire.
+type FaultsRequest struct {
+	K int64 `json:"k"`
+}
+
+// Error taxonomy: every failure leaves the server as one of these typed
+// kinds, mapped to an HTTP status. Clients switch on Kind, not on
+// message text.
+const (
+	ErrKindBadRequest = "bad_request" // malformed JSON, unknown table
+	ErrKindBadQuery   = "bad_query"   // SQL did not parse or plan
+	ErrKindShed       = "shed"        // admission refused the request
+	ErrKindCanceled   = "canceled"    // deadline expired or client went away
+	ErrKindBudget     = "budget"      // per-request resource budget exhausted
+	ErrKindStorage    = "storage"     // storage backend failed mid-query
+	ErrKindInternal   = "internal"
+)
+
+// WireError is the JSON error body; it implements error so clients can
+// return it directly.
+type WireError struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Tenant  string `json:"tenant,omitempty"`
+	// RetryAfterMs, for shed errors, is the server's estimate of when
+	// retrying could succeed (also sent as the Retry-After header).
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Status is the HTTP status the error was delivered with; filled by
+	// the client, not serialized.
+	Status int `json:"-"`
+}
+
+func (e *WireError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Kind, e.Message)
+}
+
+// ErrorBody wraps a WireError for transport.
+type ErrorBody struct {
+	Error *WireError `json:"error"`
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"aggview/internal/engine"
+	"aggview/internal/value"
+)
+
+// TestWireValueRoundTrip pins the codec: every kind survives the wire
+// exactly, including int64 beyond float64's 2^53 integer range (the
+// reason values ride as tagged text, not JSON numbers) and strings
+// containing the tag separator.
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Int(0),
+		value.Int(-7),
+		value.Int(math.MaxInt64),
+		value.Int(math.MinInt64),
+		value.Int(1<<53 + 1), // not representable as float64
+		value.Float(2.5),
+		value.Float(-0.1),
+		value.Float(math.MaxFloat64),
+		value.Str(""),
+		value.Str("plain"),
+		value.Str("with:colon:and\nnewline"),
+		value.Str("i:123"), // payload that looks like an encoding
+		value.Bool(true),
+		value.Bool(false),
+	}
+	for _, v := range vals {
+		enc := EncodeValue(v)
+		got, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%q): %v", enc, err)
+		}
+		if got.Key() != v.Key() {
+			t.Errorf("round trip %v -> %q -> %v", v, enc, got)
+		}
+	}
+}
+
+func TestWireValueMalformed(t *testing.T) {
+	for _, s := range []string{"", "i", "x:1", "i:notanumber", "b:maybe", "ii:1", ":payload", "f:one"} {
+		if _, err := DecodeValue(s); err == nil {
+			t.Errorf("DecodeValue(%q): expected error", s)
+		}
+	}
+}
+
+func TestWireRelationRoundTrip(t *testing.T) {
+	r := engine.NewRelation("a", "b")
+	r.Add(value.Int(1), value.Str("x"))
+	r.Add(value.Int(1), value.Str("x")) // duplicates must survive (bag semantics)
+	r.Add(value.Int(2), value.Float(0.5))
+	attrs, rows := EncodeRelation(r)
+	back, err := DecodeRelation(attrs, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.ResultsEqualBag(r, back) {
+		t.Fatalf("relation changed over the wire:\nwant %v\ngot %v", r, back)
+	}
+	if len(back.Attrs) != 2 || back.Attrs[0] != "a" || back.Attrs[1] != "b" {
+		t.Fatalf("attrs changed: %v", back.Attrs)
+	}
+}

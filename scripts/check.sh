@@ -40,6 +40,13 @@ go test -race -short -run 'Cancel|Budget|FaultInject' ./...
 # (-faults defaults to on). `make soak` runs the long version.
 go run ./cmd/oraclerunner -seeds 1,2 -n 150
 
+# Server smoke gate (DESIGN.md section 12): start aggserve on an
+# ephemeral port, drive 100+ mixed-tenant requests through loadrunner
+# (mutation barriers and storage-fault windows on; every 200 checked
+# bag-equal against a serial mirror), then SIGINT the server and
+# require a clean shutdown.
+sh scripts/serve_smoke.sh
+
 # Bench smoke gate (DESIGN.md section 11): measure the morsel-parallel
 # aggregation and join kernels at workers 1 versus 2 and fail on a
 # parallel regression. On a multi-core host two workers must not lose

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Server smoke gate (DESIGN.md section 12): build aggserve and
+# loadrunner, start the server on an ephemeral port from a seeded
+# workload script, drive 100+ mixed-tenant requests over real TCP with
+# mutation barriers and storage-fault windows on, require zero answer
+# mismatches and a warm plan cache (loadrunner exits nonzero on
+# either), then SIGINT the server and require a clean shutdown.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-7}"
+WORK="$(mktemp -d /tmp/aggserve-smoke.XXXXXX)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/aggserve" ./cmd/aggserve
+go build -o "$WORK/loadrunner" ./cmd/loadrunner
+
+# The harness and the server rebuild the same workload from one seed.
+"$WORK/loadrunner" -seed "$SEED" -emit-script "$WORK/db.sql"
+"$WORK/aggserve" -script "$WORK/db.sql" -addr 127.0.0.1:0 \
+    -addr-file "$WORK/addr" 2> "$WORK/server.log" &
+SRV_PID=$!
+
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve_smoke: server never bound" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "serve_smoke: server exited before binding" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$WORK/loadrunner" -seed "$SEED" -addr "http://$(cat "$WORK/addr")" \
+    -sessions 8 -rounds 4 -n 128 -queries 8
+
+# Clean shutdown: SIGINT must drain in-flight work and exit 0.
+kill -INT "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "serve_smoke: server did not shut down cleanly on SIGINT" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "shut down cleanly" "$WORK/server.log" || {
+    echo "serve_smoke: missing clean-shutdown marker" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+}
+echo "serve_smoke: ok"
