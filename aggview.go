@@ -218,8 +218,17 @@ func (s *System) MustDefineView(name, sql string) {
 }
 
 // Insert appends tuples to a base table, creating its relation on first
-// use and keeping cardinality statistics current.
+// use and keeping cardinality statistics current. Insert runs
+// unbounded; use InsertContext to bound the view maintenance it
+// triggers.
 func (s *System) Insert(table string, rows ...[]Value) error {
+	return s.InsertContext(context.Background(), table, rows...)
+}
+
+// InsertContext is Insert under a context: cancellation and deadline
+// expiry abort the maintenance evaluations with a typed error before
+// any materialization or base table changes.
+func (s *System) InsertContext(ctx context.Context, table string, rows ...[]Value) error {
 	t, ok := s.Catalog.Table(table)
 	if !ok {
 		return fmt.Errorf("aggview: unknown table %q", table)
@@ -235,7 +244,7 @@ func (s *System) Insert(table string, rows ...[]Value) error {
 		}
 	}
 	if s.maint != nil {
-		if err := s.maint.Insert(t.Name, rows...); err != nil {
+		if err := s.maint.InsertContext(ctx, t.Name, rows...); err != nil {
 			return err
 		}
 	} else {
@@ -258,8 +267,16 @@ func (s *System) Insert(table string, rows ...[]Value) error {
 // TrackView materializes a view and keeps it consistent under future
 // Insert calls: SUM/COUNT/MIN/MAX views merge per-group deltas, other
 // shapes recompute. It reports whether maintenance is incremental.
-// Tracking state is dropped by AdoptDB.
+// Tracking state is dropped by AdoptDB. TrackView runs unbounded; use
+// TrackViewContext to bound the initial materialization.
 func (s *System) TrackView(name string) (incremental bool, err error) {
+	return s.TrackViewContext(context.Background(), name)
+}
+
+// TrackViewContext is TrackView under a context: cancellation and
+// deadline expiry abort the initial materialization with a typed
+// error.
+func (s *System) TrackViewContext(ctx context.Context, name string) (incremental bool, err error) {
 	if s.maint == nil {
 		s.maint = maintain.New(s.DB, s.Views)
 	}
@@ -275,7 +292,7 @@ func (s *System) TrackView(name string) (incremental bool, err error) {
 			}
 		}
 	}
-	inc, err := s.maint.Track(name)
+	inc, err := s.maint.TrackContext(ctx, name)
 	if err != nil {
 		return false, err
 	}
@@ -763,6 +780,14 @@ type Recommendation = advisor.Recommendation
 // (with optional weights; nil weights mean uniform). budgetRows caps
 // the estimated total size of the selected views; 0 means unlimited.
 func (s *System) Advise(queries []string, weights []float64, budgetRows float64) ([]Recommendation, error) {
+	//aggvet:ctxflow Background shim by design; AdviseContext is the bounded variant.
+	return s.AdviseContext(context.Background(), queries, weights, budgetRows)
+}
+
+// AdviseContext is Advise under a context: the rewrite searches that
+// drive the advisor's benefit model honor ctx's cancellation, deadline
+// and budget.
+func (s *System) AdviseContext(ctx context.Context, queries []string, weights []float64, budgetRows float64) ([]Recommendation, error) {
 	var w advisor.Workload
 	for i, sql := range queries {
 		q, anon, err := s.parseMulti(sql)
@@ -785,7 +810,7 @@ func (s *System) Advise(queries []string, weights []float64, budgetRows float64)
 		Stats:  s.Stats,
 		Opts:   s.Opts,
 	}
-	return a.Recommend(w, budgetRows), nil
+	return a.RecommendContext(ctx, w, budgetRows)
 }
 
 // AdoptRecommendations registers and materializes the advised views,

@@ -1,18 +1,27 @@
 // Aggvet is the multichecker for the repository's custom analyzers
 // (DESIGN.md section 8): it loads the named packages with full type
-// information and applies the determinism and IR-soundness checks that
-// `go vet` cannot express.
+// information and applies the determinism, IR-soundness, ctx-threading,
+// error-taxonomy, budget-balance and key-escaping checks that `go vet`
+// cannot express. The v2 analyzers (ctxflow, errtaxonomy,
+// budgetbalance, detmerge, keyescape) run on the framework's
+// cross-function facts: per-function summaries propagated bottom-up
+// over each package's call graph.
 //
-//	go run ./cmd/aggvet ./...              # the CI gate (scripts/check.sh)
-//	go run ./cmd/aggvet ./internal/engine  # one package
-//	go run ./cmd/aggvet -list              # describe the analyzers
+//	go run ./cmd/aggvet ./...                  # the CI gate (scripts/check.sh)
+//	go run ./cmd/aggvet ./internal/engine      # one package
+//	go run ./cmd/aggvet -json VET.json ./...   # also write the benchjson.VetReport
+//	go run ./cmd/aggvet -list                  # describe the analyzers
 //
 // Exit status: 0 on a clean run, 1 when any analyzer reported a
-// diagnostic or a package failed to load, 2 on usage errors.
+// diagnostic or a package failed to load, 2 on usage errors. On
+// failure the per-analyzer finding and suppression counts are printed
+// to stderr so the gate log shows which invariant regressed.
 //
 // Suppression: an `//aggvet:<analyzer> <justification>` comment on the
-// flagged line (or the line above) silences that analyzer at that site;
-// maporder also honours the //aggvet:ordered spelling.
+// flagged line (or the line above) silences that analyzer at that
+// site; maporder also honours the //aggvet:ordered spelling. The
+// justification text is mandatory — a bare directive does not
+// suppress.
 package main
 
 import (
@@ -21,24 +30,38 @@ import (
 	"os"
 
 	"aggview/internal/analysis"
+	"aggview/internal/benchjson"
+
+	"aggview/internal/analysis/budgetbalance"
+	"aggview/internal/analysis/ctxflow"
+	"aggview/internal/analysis/detmerge"
+	"aggview/internal/analysis/errtaxonomy"
 	"aggview/internal/analysis/floateq"
 	"aggview/internal/analysis/irctor"
+	"aggview/internal/analysis/keyescape"
 	"aggview/internal/analysis/maporder"
 	"aggview/internal/analysis/waitleak"
 )
 
-// analyzers is the aggvet suite, in reporting order.
+// analyzers is the aggvet suite, in reporting order: the v1 per-file
+// checks first, then the v2 fact-based ones.
 var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	floateq.Analyzer,
 	irctor.Analyzer,
 	waitleak.Analyzer,
+	ctxflow.Analyzer,
+	errtaxonomy.Analyzer,
+	budgetbalance.Analyzer,
+	detmerge.Analyzer,
+	keyescape.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonPath := flag.String("json", "", "write a benchjson.VetReport to this path")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: aggvet [-list] [packages...]  (default ./...)")
+		fmt.Fprintln(os.Stderr, "usage: aggvet [-list] [-json report.json] [packages...]  (default ./...)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,41 +71,64 @@ func main() {
 		}
 		return
 	}
-	n, err := vet(".", flag.Args(), os.Stdout)
+	report, err := vet(".", flag.Args(), os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aggvet:", err)
 		os.Exit(1)
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "aggvet: %d diagnostics\n", n)
+	if *jsonPath != "" {
+		if werr := report.WriteFile(*jsonPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "aggvet: writing report:", werr)
+			os.Exit(1)
+		}
+	}
+	if report.TotalFindings > 0 {
+		fmt.Fprintf(os.Stderr, "aggvet: %d diagnostics\n", report.TotalFindings)
+		for _, a := range report.Analyzers {
+			if a.Findings > 0 || a.Suppressions > 0 {
+				fmt.Fprintf(os.Stderr, "aggvet:   %-14s %d findings, %d suppressed\n", a.Name, a.Findings, a.Suppressions)
+			}
+		}
 		os.Exit(1)
 	}
 }
 
 // vet loads the patterns relative to dir, runs every analyzer on every
-// loaded package, prints diagnostics, and returns how many it found.
-func vet(dir string, patterns []string, out *os.File) (int, error) {
+// loaded package, prints diagnostics to out, and returns the tallied
+// report.
+func vet(dir string, patterns []string, out *os.File) (*benchjson.VetReport, error) {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	count := 0
+	report := benchjson.NewVet()
+	report.Packages = len(pkgs)
+	for _, a := range analyzers {
+		report.Analyzers = append(report.Analyzers, benchjson.VetAnalyzer{Name: a.Name})
+	}
 	for _, pkg := range pkgs {
 		if len(pkg.Errors) > 0 {
 			// Analyzers need sound type information; a package that does
 			// not type-check is a build failure, not a lint finding.
-			return count, fmt.Errorf("package %s has load errors (run go build first): %v", pkg.PkgPath, pkg.Errors[0])
+			return nil, fmt.Errorf("package %s has load errors (run go build first): %w", pkg.PkgPath, pkg.Errors[0])
 		}
-		for _, a := range analyzers {
-			diags, err := analysis.RunAnalyzer(a, pkg)
+		for i, a := range analyzers {
+			diags, suppressed, err := analysis.RunAnalyzer(a, pkg)
 			if err != nil {
-				return count, err
+				return nil, err
 			}
+			report.Analyzers[i].Findings += len(diags)
+			report.Analyzers[i].Suppressions += suppressed
 			for _, d := range diags {
 				fmt.Fprintln(out, d.String())
-				count++
+				report.Findings = append(report.Findings, benchjson.VetFinding{
+					Analyzer: d.Analyzer,
+					Pos:      fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+					Message:  d.Message,
+				})
 			}
 		}
 	}
-	return count, nil
+	report.Finish()
+	return report, nil
 }

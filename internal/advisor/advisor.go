@@ -18,6 +18,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,11 +56,22 @@ type Advisor struct {
 
 // Recommend returns a set of views whose estimated total size fits
 // budgetRows, chosen greedily by benefit per row. A budget of 0 means
-// unlimited.
+// unlimited. It runs unbounded; use RecommendContext to make the
+// underlying rewrite searches cancelable.
 func (a *Advisor) Recommend(w Workload, budgetRows float64) []Recommendation {
+	//aggvet:ctxflow Background shim by design; RecommendContext is the bounded variant.
+	recs, _ := a.RecommendContext(context.Background(), w, budgetRows)
+	return recs
+}
+
+// RecommendContext is Recommend under a context: every rewrite search
+// the benefit model runs honors ctx's cancellation, deadline and
+// budget. On cancellation it returns ctx's error and the (possibly
+// partial) picks made so far.
+func (a *Advisor) RecommendContext(ctx context.Context, w Workload, budgetRows float64) ([]Recommendation, error) {
 	cands := a.candidates(w)
 	if len(cands) == 0 {
-		return nil
+		return nil, nil
 	}
 	est := &cost.Estimator{Stats: a.Stats}
 
@@ -79,7 +91,10 @@ func (a *Advisor) Recommend(w Workload, budgetRows float64) []Recommendation {
 		var bestRec Recommendation
 		bestScore := 0.0
 		for ci, cand := range remaining {
-			rec, ok := a.evaluate(cand, w, current, picked)
+			rec, ok, err := a.evaluate(ctx, cand, w, current, picked)
+			if err != nil {
+				return picked, err
+			}
 			if !ok || rec.Benefit <= 0 {
 				continue
 			}
@@ -98,9 +113,13 @@ func (a *Advisor) Recommend(w Workload, budgetRows float64) []Recommendation {
 		usedRows += bestRec.EstRows
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		// Update the per-query costs the next round competes against.
-		current = a.workloadCosts(w, picked, current)
+		next, err := a.workloadCosts(ctx, w, picked, current)
+		if err != nil {
+			return picked, err
+		}
+		current = next
 	}
-	return picked
+	return picked, nil
 }
 
 func weight(wq WeightedQuery) float64 {
@@ -111,16 +130,17 @@ func weight(wq WeightedQuery) float64 {
 }
 
 // evaluate computes a candidate's marginal benefit over the current
-// picks.
-func (a *Advisor) evaluate(cand *ir.ViewDef, w Workload, current []float64, picked []Recommendation) (Recommendation, bool) {
+// picks. A non-nil error means ctx ended the rewrite search and the
+// whole recommendation round should stop.
+func (a *Advisor) evaluate(ctx context.Context, cand *ir.ViewDef, w Workload, current []float64, picked []Recommendation) (Recommendation, bool, error) {
 	reg := ir.NewRegistry()
 	for _, p := range picked {
 		if err := reg.Add(p.View); err != nil {
-			return Recommendation{}, false
+			return Recommendation{}, false, nil
 		}
 	}
 	if err := reg.Add(cand); err != nil {
-		return Recommendation{}, false
+		return Recommendation{}, false, nil
 	}
 	est := &cost.Estimator{Stats: a.Stats, Views: reg}
 	rw := &core.Rewriter{Schema: a.Schema, Views: reg, Meta: a.Meta, Opts: a.Opts}
@@ -128,7 +148,11 @@ func (a *Advisor) evaluate(cand *ir.ViewDef, w Workload, current []float64, pick
 	rec := Recommendation{View: cand, EstRows: viewRows(est, cand)}
 	for i, wq := range w {
 		best := current[i]
-		for _, r := range rw.Rewritings(wq.Query) {
+		rws, err := rw.RewritingsContext(ctx, wq.Query)
+		if err != nil {
+			return Recommendation{}, false, err
+		}
+		for _, r := range rws {
 			usesCand := false
 			for _, u := range r.Used {
 				if strings.EqualFold(u, cand.Name) {
@@ -147,29 +171,33 @@ func (a *Advisor) evaluate(cand *ir.ViewDef, w Workload, current []float64, pick
 			rec.Helps = append(rec.Helps, i)
 		}
 	}
-	return rec, true
+	return rec, true, nil
 }
 
 // workloadCosts recomputes each query's best cost given the picked
 // views.
-func (a *Advisor) workloadCosts(w Workload, picked []Recommendation, prev []float64) []float64 {
+func (a *Advisor) workloadCosts(ctx context.Context, w Workload, picked []Recommendation, prev []float64) ([]float64, error) {
 	reg := ir.NewRegistry()
 	for _, p := range picked {
 		if err := reg.Add(p.View); err != nil {
-			return prev
+			return prev, nil
 		}
 	}
 	est := &cost.Estimator{Stats: a.Stats, Views: reg}
 	rw := &core.Rewriter{Schema: a.Schema, Views: reg, Meta: a.Meta, Opts: a.Opts}
 	out := append([]float64{}, prev...)
 	for i, wq := range w {
-		for _, r := range rw.Rewritings(wq.Query) {
+		rws, err := rw.RewritingsContext(ctx, wq.Query)
+		if err != nil {
+			return prev, err
+		}
+		for _, r := range rws {
 			if c := weight(wq) * est.Estimate(r.Query); c < out[i] {
 				out[i] = c
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func viewRows(est *cost.Estimator, v *ir.ViewDef) float64 {

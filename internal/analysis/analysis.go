@@ -50,8 +50,23 @@ type Pass struct {
 	PkgPath   string
 	TypesInfo *types.Info
 
-	directives map[string]map[int][]string // filename -> line -> directive names
+	// pkg is the loaded package, when the Pass was built by
+	// RunAnalyzer; Pass.Facts caches cross-function summaries on it so
+	// all analyzers in a run share one computation.
+	pkg *Package
+
+	directives map[string]map[int][]directive // filename -> line -> directives
 	diags      []Diagnostic
+	suppressed int
+}
+
+// directive is one parsed //aggvet: comment. Justified records whether
+// free text followed the name: a bare directive does not suppress (the
+// package doc promises every suppression documents its reason), it
+// only changes the finding's message to say so.
+type directive struct {
+	name      string
+	justified bool
 }
 
 // Diagnostic is one finding.
@@ -66,21 +81,36 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Reportf records a finding at pos unless a suppression directive for
-// this analyzer covers the line.
+// Reportf records a finding at pos unless a justified suppression
+// directive for this analyzer covers the line. A bare directive (no
+// justification text) does not suppress; the finding surfaces with a
+// note naming the bare directive.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	bare := false
 	for _, name := range append([]string{p.Analyzer.Name}, p.Analyzer.Aliases...) {
-		if p.suppressed(name, position) {
+		switch p.match(name, position) {
+		case matchJustified:
+			p.suppressed++
 			return
+		case matchBare:
+			bare = true
 		}
+	}
+	msg := fmt.Sprintf(format, args...)
+	if bare {
+		msg += fmt.Sprintf(" (bare //aggvet:%s directive: add a justification to suppress)", p.Analyzer.Name)
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
-		Message:  fmt.Sprintf(format, args...),
+		Message:  msg,
 	})
 }
+
+// SuppressedCount returns how many findings justified directives
+// silenced during the run (for the -json VetReport).
+func (p *Pass) SuppressedCount() int { return p.suppressed }
 
 // Diagnostics returns the findings reported so far, in source order.
 func (p *Pass) Diagnostics() []Diagnostic {
@@ -115,39 +145,53 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
-// suppressed reports whether line (or the line above it) carries an
-// //aggvet:<name> directive for the analyzer.
-func (p *Pass) suppressed(name string, pos token.Position) bool {
+// matchKind classifies how a directive covers a finding.
+type matchKind int
+
+const (
+	matchNone matchKind = iota
+	matchBare
+	matchJustified
+)
+
+// match reports how the directives on line (or the line above it)
+// cover the named analyzer.
+func (p *Pass) match(name string, pos token.Position) matchKind {
 	if p.directives == nil {
-		p.directives = map[string]map[int][]string{}
+		p.directives = map[string]map[int][]directive{}
 		for _, f := range p.Files {
 			fname := p.Fset.Position(f.Pos()).Filename
 			p.directives[fname] = fileDirectives(p.Fset, f)
 		}
 	}
 	lines := p.directives[pos.Filename]
+	kind := matchNone
 	for _, l := range []int{pos.Line, pos.Line - 1} {
 		for _, d := range lines[l] {
-			if d == name {
-				return true
+			if d.name != name {
+				continue
 			}
+			if d.justified {
+				return matchJustified
+			}
+			kind = matchBare
 		}
 	}
-	return false
+	return kind
 }
 
 // fileDirectives extracts the //aggvet: directives of one file, keyed by
 // the line the comment sits on.
-func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
-	out := map[int][]string{}
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]directive {
+	out := map[int][]directive{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			name, ok := ParseDirective(c.Text)
+			name, just, ok := parseDirective(c.Text)
 			if !ok {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
-			out[line] = append(out[line], name)
+			out[line] = append(out[line], directive{name: name, justified: just})
 		}
 	}
 	return out
@@ -156,22 +200,33 @@ func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
 // ParseDirective extracts the analyzer name from an //aggvet:<name>
 // comment; ok is false for ordinary comments.
 func ParseDirective(comment string) (name string, ok bool) {
+	name, _, ok = parseDirective(comment)
+	return name, ok
+}
+
+// parseDirective additionally reports whether non-empty justification
+// text follows the name.
+func parseDirective(comment string) (name string, justified, ok bool) {
 	const prefix = "//aggvet:"
 	if !strings.HasPrefix(comment, prefix) {
-		return "", false
+		return "", false, false
 	}
 	rest := strings.TrimPrefix(comment, prefix)
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+		name, justified = rest[:i], strings.TrimSpace(rest[i:]) != ""
+	} else {
+		name = rest
 	}
-	if rest == "" {
-		return "", false
+	if name == "" {
+		return "", false, false
 	}
-	return rest, true
+	return name, justified, true
 }
 
-// RunAnalyzer applies one analyzer to one loaded package.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// RunAnalyzer applies one analyzer to one loaded package. It returns
+// the surviving findings and the number of findings that justified
+// //aggvet: directives suppressed.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, int, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -179,9 +234,10 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		PkgPath:   pkg.PkgPath,
 		TypesInfo: pkg.Info,
+		pkg:       pkg,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	return pass.Diagnostics(), nil
+	return pass.Diagnostics(), pass.suppressed, nil
 }

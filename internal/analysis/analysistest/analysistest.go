@@ -63,7 +63,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzer(a, pkg)
+	diags, _, err := analysis.RunAnalyzer(a, pkg)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -112,7 +112,7 @@ func expectations(pkg *analysis.Package) ([]*expectation, error) {
 				for _, m := range pats {
 					re, err := regexp.Compile(m[1])
 					if err != nil {
-						return nil, fmt.Errorf("%s: bad want pattern %q: %v", fmtPos(pos), m[1], err)
+						return nil, fmt.Errorf("%s: bad want pattern %q: %w", fmtPos(pos), m[1], err)
 					}
 					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
 				}

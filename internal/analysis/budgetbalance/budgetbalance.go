@@ -1,0 +1,260 @@
+// Package budgetbalance guards the charge/refund balance of long-lived
+// meter accounting — the plan-cache bug class from PR 7: a method
+// charges Meter.AddCacheEntries for an entry it is about to retain,
+// then hits an error exit that abandons the entry without calling
+// ReleaseCacheEntries, and the tenant's cache budget leaks until the
+// server restarts.
+//
+// Scope is deliberately narrow: only AddCacheEntries charges, and only
+// when the meter is reached through a field of the method's receiver
+// (c.meter.AddCacheEntries). A receiver-held meter is long-lived state
+// whose charges outlive the call and therefore need explicit refunds;
+// a meter held in a parameter or local (the per-query task carrier) is
+// per-operation consumption that the query's own teardown settles, and
+// AddRows/AddCandidates/AddMem are pure consumption with no refund
+// API.
+//
+// For each such charge the analyzer examines every return statement
+// after it (in source order) that returns a non-nil error, and
+// requires a refund on the path: a ReleaseCacheEntries call between
+// charge and return, a call to an intra-package function that refunds
+// transitively (the framework's RefundsMeter fact — this is what lets
+// plancache's evict-through-removeLocked path pass), or a defer
+// registered before the return whose body refunds. The between-ness is
+// lexical, not CFG-accurate — a refund in a never-taken branch
+// satisfies it — which trades false negatives for zero false positives
+// on straight-line charge/refund code; the dynamic budget suite still
+// backstops the exact balance.
+package budgetbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aggview/internal/analysis"
+)
+
+// Analyzer flags receiver-held AddCacheEntries charges with an
+// unrefunded error exit.
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetbalance",
+	Doc: "flags Meter.AddCacheEntries charges on a receiver-held meter that reach an " +
+		"error return with no ReleaseCacheEntries (direct, transitive, or deferred) on the path; " +
+		"long-lived charges must be refunded on every early exit",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := pass.Facts()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			checkMethod(pass, facts, fn)
+		}
+	}
+	return nil
+}
+
+// site is one charge, refund, or error-return position.
+type site struct {
+	pos  token.Pos
+	node ast.Node
+}
+
+func checkMethod(pass *analysis.Pass, facts *analysis.Facts, fn *ast.FuncDecl) {
+	recv := receiverObj(pass, fn)
+	if recv == nil {
+		return
+	}
+
+	var charges, refunds, deferredRefunds []site
+	var errReturns []site
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // literal bodies own their balance
+		case *ast.DeferStmt:
+			if deferRefunds(pass, facts, x) {
+				deferredRefunds = append(deferredRefunds, site{x.Pos(), x})
+			}
+			return false
+		case *ast.CallExpr:
+			if isMeterCall(pass, x, "AddCacheEntries") && sameObject(pass, chainBase(x), recv) {
+				charges = append(charges, site{x.Pos(), x})
+			}
+			if isRefundCall(pass, facts, x) {
+				refunds = append(refunds, site{x.Pos(), x})
+			}
+		case *ast.ReturnStmt:
+			if returnsNonNilError(pass, fn, x) {
+				errReturns = append(errReturns, site{x.Pos(), x})
+			}
+		}
+		return true
+	})
+
+	for _, c := range charges {
+		for _, r := range errReturns {
+			if r.pos < c.pos {
+				continue
+			}
+			if refundBetween(refunds, c.pos, r.pos) || refundBefore(deferredRefunds, r.pos) {
+				continue
+			}
+			pass.Reportf(c.pos,
+				"AddCacheEntries charge on receiver-held meter reaches the error return at line %d "+
+					"with no ReleaseCacheEntries on the path; refund the charge on every early exit "+
+					"(directly, via a refunding helper, or in a defer)",
+				pass.Fset.Position(r.pos).Line)
+			break // one report per charge
+		}
+	}
+}
+
+func refundBetween(refunds []site, from, to token.Pos) bool {
+	for _, f := range refunds {
+		if from < f.pos && f.pos < to {
+			return true
+		}
+	}
+	return false
+}
+
+func refundBefore(defers []site, to token.Pos) bool {
+	for _, d := range defers {
+		if d.pos < to {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsNonNilError reports whether a return statement may carry a
+// non-nil error: the method has an error result and this return's
+// expression in that position is anything but the nil literal (naked
+// returns and single-call spreads count — the error could be non-nil).
+func returnsNonNilError(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	obj, _ := pass.ObjectOf(fn.Name).(*types.Func)
+	if obj == nil {
+		return false
+	}
+	results := obj.Signature().Results()
+	errIdx := -1
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return false
+	}
+	if len(ret.Results) != results.Len() {
+		return true
+	}
+	if id, ok := ret.Results[errIdx].(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+// deferRefunds reports whether a defer's call (or function-literal
+// body) contains a refund.
+func deferRefunds(pass *analysis.Pass, facts *analysis.Facts, d *ast.DeferStmt) bool {
+	found := false
+	ast.Inspect(d.Call, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isRefundCall(pass, facts, call) {
+			found = true
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	// defer func() { ... refund ... }()
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isRefundCall(pass, facts, call) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isRefundCall reports a direct ReleaseCacheEntries call or a call to
+// an intra-package function whose RefundsMeter fact holds.
+func isRefundCall(pass *analysis.Pass, facts *analysis.Facts, call *ast.CallExpr) bool {
+	if isMeterCall(pass, call, "ReleaseCacheEntries") {
+		return true
+	}
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = pass.ObjectOf(fun).(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = pass.ObjectOf(fun.Sel).(*types.Func)
+	}
+	ff := facts.Lookup(callee)
+	return ff != nil && ff.RefundsMeter
+}
+
+// isMeterCall reports a call of the named method on a receiver type
+// called Meter (name-matched so fixtures can model the shape without
+// importing internal/budget).
+func isMeterCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Signature().Recv() == nil {
+		return false
+	}
+	t := fn.Signature().Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Meter"
+}
+
+// chainBase resolves the object at the base of the call's selector
+// chain: for c.meter.AddCacheEntries(...) it returns c's object, so the
+// caller can tell receiver-held meters from parameter-held ones.
+func chainBase(call *ast.CallExpr) *ast.Ident {
+	e := call.Fun
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		e = sel.X
+	}
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// receiverObj returns the receiver identifier so chainBase hits can be
+// compared by object; nil for anonymous receivers.
+func receiverObj(pass *analysis.Pass, fn *ast.FuncDecl) *ast.Ident {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return fn.Recv.List[0].Names[0]
+}
+
+// sameObject reports whether two identifiers resolve to the same
+// object (a use of the receiver vs its declaration).
+func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ao, bo := pass.ObjectOf(a), pass.ObjectOf(b)
+	return ao != nil && ao == bo
+}

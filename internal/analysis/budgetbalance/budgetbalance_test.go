@@ -1,0 +1,12 @@
+package budgetbalance_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/budgetbalance"
+)
+
+func TestBudgetBalance(t *testing.T) {
+	analysistest.Run(t, budgetbalance.Analyzer, "testdata/src/plancache")
+}

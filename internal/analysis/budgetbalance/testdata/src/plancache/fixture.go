@@ -1,0 +1,97 @@
+// Package plancache is the budgetbalance fixture: a cache whose
+// receiver-held Meter is charged for retained entries, with balanced
+// and unbalanced error exits. The Meter type is name-matched, so the
+// fixture models the shape without importing internal/budget.
+package plancache
+
+import "errors"
+
+var errFull = errors.New("full")
+
+// Meter models the budget meter's cache-entry accounting.
+type Meter struct{ entries int64 }
+
+func (m *Meter) AddCacheEntries(n int64) { m.entries += n }
+
+func (m *Meter) ReleaseCacheEntries(n int64) { m.entries -= n }
+
+// Cache holds its meter in a field: charges outlive the call.
+type Cache struct {
+	meter   *Meter
+	entries map[string]int
+}
+
+// PutLeaky charges and then abandons the entry on the error exit.
+func (c *Cache) PutLeaky(key string) error {
+	c.meter.AddCacheEntries(1) // want `no ReleaseCacheEntries on the path`
+	if len(c.entries) > 64 {
+		return errFull
+	}
+	c.entries[key] = 1
+	return nil
+}
+
+// PutBalanced refunds directly before the error return: quiet.
+func (c *Cache) PutBalanced(key string) error {
+	c.meter.AddCacheEntries(1)
+	if len(c.entries) > 64 {
+		c.meter.ReleaseCacheEntries(1)
+		return errFull
+	}
+	c.entries[key] = 1
+	return nil
+}
+
+// evict refunds transitively; the RefundsMeter fact carries it.
+func (c *Cache) evict() {
+	c.meter.ReleaseCacheEntries(1)
+}
+
+// PutEvicting refunds through the helper: quiet.
+func (c *Cache) PutEvicting(key string) error {
+	c.meter.AddCacheEntries(1)
+	if len(c.entries) > 64 {
+		c.evict()
+		return errFull
+	}
+	c.entries[key] = 1
+	return nil
+}
+
+// PutDeferred refunds in a defer registered before the error return:
+// quiet.
+func (c *Cache) PutDeferred(key string) (err error) {
+	c.meter.AddCacheEntries(1)
+	defer func() {
+		if err != nil {
+			c.meter.ReleaseCacheEntries(1)
+		}
+	}()
+	if len(c.entries) > 64 {
+		return errFull
+	}
+	c.entries[key] = 1
+	return nil
+}
+
+// Consume charges a parameter-held meter — per-operation consumption
+// settled by the caller's teardown, out of scope: quiet.
+func (c *Cache) Consume(m *Meter) error {
+	m.AddCacheEntries(1)
+	if len(c.entries) > 64 {
+		return errFull
+	}
+	return nil
+}
+
+// PutPinned documents a charge that is deliberately not refunded:
+// suppressed.
+func (c *Cache) PutPinned(key string) error {
+	//aggvet:budgetbalance pinned entry: the charge is released by Close, not per call.
+	c.meter.AddCacheEntries(1)
+	if len(c.entries) > 64 {
+		return errFull
+	}
+	c.entries[key] = 1
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package ctxflow enforces the context-threading discipline PR 5
+// established: cancellation must reach every blocking operation, so
+// exported entry points that may block take a context.Context, contexts
+// travel as parameters rather than struct fields, and library code
+// derives its context from the caller's instead of minting a fresh
+// context.Background().
+//
+// Four rules, all built on the framework's cross-function facts
+// (analysis.Facts), which know transitively which functions block:
+//
+//  1. An exported function that blocks (directly or through
+//     intra-package callees) must take a context.Context — unless a
+//     sibling named <Name>Context exists, the documented compat-shim
+//     pattern (Exec/ExecContext).
+//  2. A context.Context stored in a struct field is flagged
+//     (go.dev/blog/context-and-structs); per-operation carrier structs
+//     that a kernel resolves once at entry document the exception with
+//     //aggvet:ctxflow.
+//  3. context.Background() in a non-main, non-test package is flagged —
+//     library code inherits its context — except inside the ctx-less
+//     member of a shim pair, whose job is exactly to supply Background.
+//  4. In the ctx-threading target packages (experiments, oracle,
+//     advisor, maintain, server), a function that has a ctx parameter
+//     must not drop it by calling the ctx-less member of a shim pair:
+//     calling Exec where ExecContext exists unplugs cancellation below
+//     that point. This is the rule that closes the ROADMAP
+//     "benchrunner bounded below process level" gap.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"aggview/internal/analysis"
+)
+
+// Analyzer enforces ctx threading on blocking paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "enforces context threading: exported blocking entry points take a context.Context " +
+		"(or have a <Name>Context sibling), contexts are not stored in struct fields, " +
+		"library packages do not mint context.Background(), and functions holding a ctx " +
+		"do not call the ctx-less member of a shim pair",
+	Run: run,
+}
+
+// threadPkgs are the packages rule 4 (shim-sibling calls under a live
+// ctx) applies to: the layers between the CLIs and the kernels, where
+// dropping the ctx silently unbounds the work below. The facade
+// (aggview) is exempt — its ctx-less shims exist to call Background.
+var threadPkgs = map[string]bool{
+	"experiments": true,
+	"oracle":      true,
+	"advisor":     true,
+	"maintain":    true,
+	"server":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	facts := pass.Facts()
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkStructFields(pass, d)
+			case *ast.FuncDecl:
+				checkFunc(pass, facts, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkStructFields flags context.Context struct fields (rule 2).
+func checkStructFields(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if t := pass.TypeOf(field.Type); t != nil && isContext(t) {
+				pass.Reportf(field.Pos(),
+					"context.Context stored in struct %s: contexts are request-scoped and travel as "+
+						"parameters, not fields; pass ctx explicitly or justify a per-operation carrier "+
+						"with //aggvet:ctxflow", ts.Name.Name)
+			}
+		}
+	}
+}
+
+// checkFunc applies rules 1, 3 and 4 to one function.
+func checkFunc(pass *analysis.Pass, facts *analysis.Facts, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	obj, _ := pass.ObjectOf(fn.Name).(*types.Func)
+	if obj == nil {
+		return
+	}
+	ff := facts.Lookup(obj)
+	if ff == nil {
+		return
+	}
+	isShim := analysis.HasContextSibling(obj)
+
+	// Rule 1: exported + blocks + no ctx param + no Context sibling.
+	if fn.Name.IsExported() && ff.Blocks && !ff.HasCtxParam && !isShim {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s %s (%s) but takes no context.Context and has no %sContext sibling; "+
+				"blocking entry points must be cancelable",
+			kindOf(fn), fn.Name.Name, ff.BlockDesc, fn.Name.Name)
+	}
+
+	inTestFile := strings.HasSuffix(pass.Fset.Position(fn.Pos()).Filename, "_test.go")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pass, call)
+		if callee == nil {
+			return true
+		}
+
+		// Rule 3: context.Background() outside main/test code. The
+		// ctx-less member of a shim pair is the one place Background
+		// belongs — it is the documented bridge for callers without a
+		// ctx.
+		if callee.Pkg() != nil && callee.Pkg().Path() == "context" && callee.Name() == "Background" {
+			if !isShim && !inTestFile {
+				pass.Reportf(call.Pos(),
+					"context.Background() in package %s: library code derives its context from the "+
+						"caller; add a ctx parameter (or a %sContext sibling and call Background only "+
+						"in the shim)", pass.Pkg.Name(), fn.Name.Name)
+			}
+		}
+
+		// Rule 4: a call to the ctx-less member of a shim pair unplugs
+		// cancellation below this point. With a ctx in hand the fix is
+		// to call the Context variant; without one, to grow a ctx
+		// parameter first — either way the ctx-less call in a
+		// threading-layer package is a hole in the cancellation chain.
+		if threadPkgs[pass.Pkg.Name()] && callee != obj && analysis.HasContextSibling(callee) {
+			if ff.HasCtxParam {
+				pass.Reportf(call.Pos(),
+					"%s has a ctx but calls %s, which has a %sContext sibling; call the Context "+
+						"variant so cancellation reaches the work below",
+					fn.Name.Name, callee.Name(), callee.Name())
+			} else {
+				pass.Reportf(call.Pos(),
+					"%s calls %s, which has a %sContext sibling, but has no ctx to thread; add a "+
+						"context.Context parameter and call the Context variant",
+					fn.Name.Name, callee.Name(), callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pass.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func kindOf(fn *ast.FuncDecl) string {
+	if fn.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,79 @@
+// Package maintain is the ctxflow fixture, named after one of the
+// ctx-threading target packages so rule 4 (shim-sibling calls) applies.
+// It exercises all four rules plus the transitive blocking fact and one
+// justified suppression.
+package maintain
+
+import "context"
+
+// Drain blocks directly (channel receive) with no ctx and no Context
+// sibling: rule 1.
+func Drain(ch chan int) int { // want `exported function Drain`
+	return <-ch
+}
+
+// drainHelper blocks; unexported, so rule 1 does not apply to it.
+func drainHelper(ch chan int) int {
+	return <-ch
+}
+
+// Collect blocks only transitively, through drainHelper — the
+// cross-function fact still reaches it: rule 1.
+func Collect(ch chan int) int { // want `exported function Collect`
+	return drainHelper(ch)
+}
+
+// ExecContext is the ctx-carrying member of a shim pair.
+func ExecContext(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+// Exec is the ctx-less shim: blocking without a ctx parameter is fine
+// because the ExecContext sibling exists (rule 1 exemption), and the
+// shim is the one place context.Background belongs (rule 3 exemption).
+func Exec(ch chan int) int {
+	return ExecContext(context.Background(), ch)
+}
+
+// Bounded blocks but takes a ctx: quiet under rule 1.
+func Bounded(ctx context.Context, ch chan int) int {
+	return ExecContext(ctx, ch)
+}
+
+// dropCtx holds a ctx yet calls the ctx-less shim member: rule 4.
+func dropCtx(ctx context.Context, ch chan int) int {
+	return Exec(ch) // want `dropCtx has a ctx but calls Exec`
+}
+
+// noCtx has no ctx to thread; rule 4 says to grow one.
+func noCtx(ch chan int) int {
+	return Exec(ch) // want `noCtx calls Exec`
+}
+
+// mintBackground mints a fresh Background outside a shim: rule 3.
+func mintBackground(ch chan int) int {
+	return ExecContext(context.Background(), ch) // want `context.Background\(\) in package maintain`
+}
+
+// pipeline stores a ctx in a struct field: rule 2.
+type pipeline struct {
+	ctx context.Context // want `context.Context stored in struct pipeline`
+	out chan int
+}
+
+// carrier documents the per-operation exception: suppressed.
+type carrier struct {
+	//aggvet:ctxflow per-operation carrier resolved once at entry, never stored across calls.
+	ctx context.Context
+	out chan int
+}
+
+// use keeps the carrier types referenced.
+func use(p *pipeline, c *carrier) (context.Context, context.Context) {
+	return p.ctx, c.ctx
+}

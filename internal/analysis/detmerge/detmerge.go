@@ -1,0 +1,216 @@
+// Package detmerge guards the worker-count output-determinism
+// invariant (DESIGN.md section 6): a parallel kernel must produce the
+// same answer at workers=1 and workers=N, which requires goroutine
+// results to be committed by morsel/slot index, never in completion
+// order. The engine's kernels write errs[m] = err into a preallocated
+// slot array and merge in index order; the moment somebody "simplifies"
+// that to an append under a mutex, the output order starts depending
+// on the scheduler and the differential oracle's bag comparisons go
+// flaky at exactly the worker counts CI doesn't run.
+//
+// Two shapes are flagged, in the kernel packages (engine, core,
+// oracle, server):
+//
+//  1. append to a slice declared outside a goroutine's function
+//     literal, from inside that literal — the classic shared-slice
+//     completion-order merge, mutex or not (the mutex fixes the race,
+//     not the order).
+//  2. a range over a channel whose body appends to an outer slice, in
+//     a function that also launches goroutines — the drain loop
+//     receives in completion order.
+//
+// Both stay quiet when the enclosing function visibly restores a
+// deterministic order afterwards (a sort.Slice/sort.Sort/slices.Sort
+// call after the merge), and indexed slot writes (results[i] = ...)
+// never fire the analyzer. Intentional completion-order collection
+// (e.g. load-test sampling where order is irrelevant) documents itself
+// with //aggvet:detmerge.
+package detmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aggview/internal/analysis"
+)
+
+// kernelPkgs names the packages whose merges must be index-ordered.
+var kernelPkgs = map[string]bool{
+	"engine": true,
+	"core":   true,
+	"oracle": true,
+	"server": true,
+}
+
+// Analyzer flags completion-order result merges in the kernel packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmerge",
+	Doc: "flags goroutine results merged in completion order (append to a shared slice from a " +
+		"worker goroutine, or a channel-drain loop appending without a later sort) in the kernel " +
+		"packages; parallel kernels must commit results by morsel/slot index for " +
+		"worker-count-independent output",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !kernelPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	sortPositions := sortCalls(pass, fn)
+	sortedAfter := func(pos token.Pos) bool {
+		for _, s := range sortPositions {
+			if s > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	launchesGoroutine := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			launchesGoroutine = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// Shape 1: append to an outer slice inside the launched
+			// literal.
+			lit, ok := x.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for _, app := range outerAppends(pass, lit.Body, lit.Pos(), lit.End()) {
+				if sortedAfter(x.End()) {
+					continue
+				}
+				pass.Reportf(app.Pos(),
+					"append to shared slice %s from a worker goroutine merges results in completion "+
+						"order; commit into an indexed slot (results[i] = ...) and merge in index order, "+
+						"or sort afterwards", appendTarget(app))
+			}
+		case *ast.RangeStmt:
+			// Shape 2: channel-drain loop appending to an outer slice
+			// in a goroutine-launching function.
+			if !launchesGoroutine {
+				return true
+			}
+			t := pass.TypeOf(x.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			for _, app := range outerAppends(pass, x.Body, x.Body.Pos(), x.Body.End()) {
+				if sortedAfter(x.End()) {
+					continue
+				}
+				pass.Reportf(app.Pos(),
+					"channel-drain loop appends %s in completion order; workers should write "+
+						"indexed slots, or sort the collected results before use", appendTarget(app))
+			}
+		}
+		return true
+	})
+}
+
+// outerAppends finds append calls in body whose target slice is
+// declared outside the [from, to] span.
+func outerAppends(pass *analysis.Pass, body ast.Node, from, to token.Pos) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		base := baseIdent(call.Args[0])
+		if base == nil {
+			return true
+		}
+		obj := pass.ObjectOf(base)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() < from || obj.Pos() > to {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// sortCalls collects the positions of order-restoring calls
+// (sort.Slice/SliceStable/Sort/Strings/Ints, slices.Sort*).
+func sortCalls(pass *analysis.Pass, fn *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if (pkg.Name == "sort" || pkg.Name == "slices") &&
+			(sel.Sel.Name == "Sort" || sel.Sel.Name == "Slice" || sel.Sel.Name == "SliceStable" ||
+				sel.Sel.Name == "SortFunc" || sel.Sel.Name == "SortStableFunc" ||
+				sel.Sel.Name == "Strings" || sel.Sel.Name == "Ints") {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdent unwraps x.y.z / x[i] expressions to the base identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func appendTarget(call *ast.CallExpr) string {
+	if id := baseIdent(call.Args[0]); id != nil {
+		return id.Name
+	}
+	return "slice"
+}

@@ -1,0 +1,12 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/detmerge"
+)
+
+func TestDetMerge(t *testing.T) {
+	analysistest.Run(t, detmerge.Analyzer, "testdata/src/engine")
+}

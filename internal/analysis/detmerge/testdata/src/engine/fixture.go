@@ -1,0 +1,124 @@
+// Package engine is the detmerge fixture, named after a kernel package
+// so the analyzer applies: completion-order merges in both flagged
+// shapes, the indexed-slot and sort-after idioms that stay quiet, and
+// one justified suppression.
+package engine
+
+import (
+	"sort"
+	"sync"
+)
+
+// BadMerge appends to a shared slice from worker goroutines — the
+// mutex fixes the race, not the order: shape 1.
+func BadMerge(parts [][]int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, p...) // want `completion order`
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// SortedMerge restores a deterministic order after the merge: quiet.
+func SortedMerge(parts [][]int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, p...)
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	sort.Ints(out)
+	return out
+}
+
+// SlotMerge commits results by slot index and merges in index order —
+// the kernel idiom: quiet.
+func SlotMerge(parts [][]int) []int {
+	results := make([][]int, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p []int) {
+			defer wg.Done()
+			results[i] = p
+		}(i, p)
+	}
+	wg.Wait()
+	var out []int
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// BadDrain receives worker results off a channel in completion order:
+// shape 2.
+func BadDrain(parts [][]int) []int {
+	ch := make(chan []int)
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []int) {
+			defer wg.Done()
+			ch <- p
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	var out []int
+	for p := range ch {
+		out = append(out, p...) // want `completion order`
+	}
+	return out
+}
+
+// Sampled collects in completion order on purpose — latency samples
+// whose order is irrelevant: suppressed.
+func Sampled(parts [][]int) []int {
+	ch := make(chan []int)
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []int) {
+			defer wg.Done()
+			ch <- p
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	var out []int
+	for p := range ch {
+		//aggvet:detmerge sampling collector: order is irrelevant by design.
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Serial appends with no goroutines in sight: quiet.
+func Serial(parts [][]int) []int {
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/src/server")
+}

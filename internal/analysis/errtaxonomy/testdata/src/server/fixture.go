@@ -1,0 +1,102 @@
+// Package server is the errtaxonomy fixture, named server so rule 3
+// (taxonomy coverage) applies. It models the real server's typed-error
+// taxonomy with local types plus the real budget classifiers.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"aggview/internal/budget"
+)
+
+// ShedError, Injected and badQueryError model the taxonomy members the
+// server classifies by errors.As target type.
+type ShedError struct{ Tenant string }
+
+func (e *ShedError) Error() string { return "shed: " + e.Tenant }
+
+type Injected struct{}
+
+func (e *Injected) Error() string { return "injected" }
+
+type badQueryError struct{ err error }
+
+func (e *badQueryError) Error() string { return "bad query" }
+
+// same compares error values with ==: rule 1.
+func same(a, b error) bool {
+	return a == b // want `use errors.Is`
+}
+
+// nilCheck compares against the nil literal: quiet.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// isCheck classifies through errors.Is: quiet.
+func isCheck(a, b error) bool {
+	return errors.Is(a, b)
+}
+
+// sentinelCompare documents why == is safe here: suppressed.
+func sentinelCompare(a, b error) bool {
+	//aggvet:errtaxonomy both operands are unwrapped sentinels minted in this package.
+	return a == b
+}
+
+// wrapBad launders the taxonomy type with %v on a propagation path:
+// rule 2.
+func wrapBad(err error) error {
+	return fmt.Errorf("query: %v", err) // want `without %w`
+}
+
+// wrapGood preserves the chain: quiet.
+func wrapGood(err error) error {
+	return fmt.Errorf("query: %w", err)
+}
+
+// logBad formats an error with %v but returns none — not a propagation
+// path: quiet.
+func logBad(err error) string {
+	return fmt.Errorf("query: %v", err).Error()
+}
+
+// status covers the full taxonomy: quiet under rule 3.
+func status(err error) int {
+	var shed *ShedError
+	var inj *Injected
+	var bad *badQueryError
+	switch {
+	case errors.As(err, &shed):
+		return 429
+	case budget.IsCanceled(err):
+		return 504
+	case budget.IsExceeded(err):
+		return 422
+	case errors.As(err, &inj):
+		return 502
+	case errors.As(err, &bad):
+		return 400
+	}
+	return 500
+}
+
+// partialStatus tests two members and forgets the rest, which fall
+// through to 500: rule 3.
+func partialStatus(err error) int {
+	var shed *ShedError
+	if errors.As(err, &shed) { // want `misses Exceeded, Injected, badQueryError`
+		return 429
+	}
+	if budget.IsCanceled(err) {
+		return 504
+	}
+	return 500
+}
+
+// isShed peels off a single case — not a classification chain: quiet.
+func isShed(err error) bool {
+	var shed *ShedError
+	return errors.As(err, &shed)
+}

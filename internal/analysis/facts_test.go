@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderFacts loads pkgPattern fresh and serializes every function
+// summary in propagation order.
+func renderFacts(t *testing.T, dir, pattern string) string {
+	t.Helper()
+	pkgs, err := Load(dir, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected one package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Errors) > 0 {
+		t.Fatalf("%s: %v", p.PkgPath, p.Errors)
+	}
+	facts := computeFacts(p.Fset, p.Files, p.Info)
+	var b strings.Builder
+	for _, ff := range facts.Order {
+		b.WriteString(ff.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFactsDeterministic pins the framework contract every analyzer
+// depends on: two fully independent loads of the same package (fresh
+// FileSet, fresh type-check, fresh call-graph ordering) serialize to
+// byte-identical fact tables. Map iteration anywhere in the ordering
+// or the propagation sweeps would flake this test immediately.
+func TestFactsDeterministic(t *testing.T) {
+	const dir, pattern = "../..", "./internal/maintain"
+	first := renderFacts(t, dir, pattern)
+	if first == "" {
+		t.Fatal("no facts computed")
+	}
+	for i := 0; i < 3; i++ {
+		if got := renderFacts(t, dir, pattern); got != first {
+			t.Fatalf("load %d produced different facts\nfirst:\n%s\ngot:\n%s", i+2, first, got)
+		}
+	}
+}
+
+// TestFactsCrossFunction spot-checks the transitive facts on a real
+// package: maintain.Track blocks only through its TrackContext callee
+// (the shim pattern), and both charge no meter.
+func TestFactsCrossFunction(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/maintain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	if len(p.Errors) > 0 {
+		t.Fatalf("%s: %v", p.PkgPath, p.Errors)
+	}
+	facts := computeFacts(p.Fset, p.Files, p.Info)
+	byName := map[string]*FuncFacts{}
+	for _, ff := range facts.Order {
+		byName[ff.Obj.Name()] = ff
+	}
+	track, ok := byName["Track"]
+	if !ok {
+		t.Fatal("no facts for maintain.Track")
+	}
+	if track.HasCtxParam {
+		t.Error("Track should have no ctx param (it is the shim)")
+	}
+	tc, ok := byName["TrackContext"]
+	if !ok {
+		t.Fatal("no facts for maintain.TrackContext")
+	}
+	if !tc.HasCtxParam {
+		t.Error("TrackContext should have a ctx param")
+	}
+	if !HasContextSibling(track.Obj) {
+		t.Error("Track should report a TrackContext sibling")
+	}
+}

@@ -1,0 +1,12 @@
+package keyescape_test
+
+import (
+	"testing"
+
+	"aggview/internal/analysis/analysistest"
+	"aggview/internal/analysis/keyescape"
+)
+
+func TestKeyEscape(t *testing.T) {
+	analysistest.Run(t, keyescape.Analyzer, "testdata/src/keys")
+}

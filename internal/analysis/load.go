@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -15,6 +16,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package.
@@ -31,6 +34,11 @@ type Package struct {
 	// best-effort (their errors are dropped); module packages surface
 	// every error here so aggvet can refuse to run on broken input.
 	Errors []error
+
+	// facts caches the package's cross-function summaries, computed on
+	// first Pass.Facts call and shared by every analyzer in the run.
+	facts     *Facts
+	factsOnce sync.Once
 }
 
 // listPkg mirrors the subset of `go list -json` output the loader needs.
@@ -77,6 +85,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(roots) == 0 {
+		// `go list -e` exits zero and prints nothing on stdout for a
+		// pattern that matches no packages (e.g. a typoed nope/...);
+		// without this check aggvet would silently succeed on an empty
+		// package set.
+		return nil, fmt.Errorf("analysis: no packages match %s", strings.Join(patterns, " "))
+	}
 
 	l := &loader{
 		fset:   token.NewFileSet(),
@@ -114,16 +129,16 @@ func goList(dir string, args []string) ([]*listPkg, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", args, err, stderr.String())
 	}
 	dec := json.NewDecoder(&stdout)
 	var out []*listPkg
 	for {
 		m := &listPkg{}
-		if err := dec.Decode(m); err == io.EOF {
+		if err := dec.Decode(m); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
 		}
 		out = append(out, m)
 	}

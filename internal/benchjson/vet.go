@@ -1,0 +1,70 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// VetFinding is one surviving aggvet diagnostic (suppressed findings
+// are counted, not listed — their justifications live in the source).
+type VetFinding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Pos is the finding's file:line:col position.
+	Pos string `json:"pos"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// VetAnalyzer is one analyzer's tally across the run.
+type VetAnalyzer struct {
+	Name string `json:"name"`
+	// Findings counts unsuppressed diagnostics; the gate exits nonzero
+	// iff any analyzer's count is positive.
+	Findings int `json:"findings"`
+	// Suppressions counts findings silenced by justified //aggvet:
+	// directives — the size of the documented-exception surface, which
+	// the trajectory should show shrinking, not growing.
+	Suppressions int `json:"suppressions"`
+}
+
+// VetReport is the full emission of one `aggvet -json` run, the
+// static-analysis counterpart of the perf trajectory reports: checked
+// in per PR so finding/suppression counts are trackable over time.
+type VetReport struct {
+	GoVersion string `json:"go_version"`
+	// Packages counts the packages analyzed.
+	Packages int `json:"packages"`
+	// Analyzers tallies every registered analyzer, in registration
+	// order, including clean ones (a zero row proves the analyzer ran).
+	Analyzers []VetAnalyzer `json:"analyzers"`
+	// Findings lists the surviving diagnostics in source order.
+	Findings []VetFinding `json:"findings"`
+	// TotalFindings and TotalSuppressions are the column sums.
+	TotalFindings     int `json:"total_findings"`
+	TotalSuppressions int `json:"total_suppressions"`
+}
+
+// NewVet returns a vet report stamped with the toolchain version.
+func NewVet() *VetReport {
+	return &VetReport{GoVersion: runtime.Version()}
+}
+
+// Finish computes the column sums from the per-analyzer tallies.
+func (r *VetReport) Finish() {
+	r.TotalFindings, r.TotalSuppressions = 0, 0
+	for _, a := range r.Analyzers {
+		r.TotalFindings += a.Findings
+		r.TotalSuppressions += a.Suppressions
+	}
+}
+
+// WriteFile marshals the report, indented, to path.
+func (r *VetReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -130,6 +130,7 @@ func (rw *Rewriter) meta() keys.MetaSource {
 // harness). Resolved once per public entry so the per-candidate poll
 // never touches context.Value.
 type searchTask struct {
+	//aggvet:ctxflow per-search carrier resolved once at the public entry, never stored across calls.
 	ctx   context.Context
 	meter *budget.Meter
 	inj   *faultinject.Injector
@@ -618,16 +619,10 @@ func canonicalKey(q *ir.Query) string {
 	// CloseCached: BFS branches repeatedly reach candidates with equal
 	// WHERE conjunctions; the closure is computed once and shared.
 	cl := constraints.CloseCached(aggreason.WhereConj(reordered))
-	name := func(t constraints.Term) string {
-		if t.IsConst {
-			return t.C.String()
-		}
-		return reordered.Col(ir.ColID(t.V)).Name
-	}
 	var preds []string
 	for _, at := range cl.Atoms() {
-		s := name(at.L) + " " + at.Op.String() + " " + name(at.R)
-		f := name(at.R) + " " + at.Op.Flip().String() + " " + name(at.L)
+		s := termKeyName(reordered, at.L) + " " + opKeyName(at.Op) + " " + termKeyName(reordered, at.R)
+		f := termKeyName(reordered, at.R) + " " + opKeyName(at.Op.Flip()) + " " + termKeyName(reordered, at.L)
 		if f < s {
 			s = f
 		}
@@ -639,25 +634,69 @@ func canonicalKey(q *ir.Query) string {
 	sort.Strings(preds)
 	groups := make([]string, len(reordered.GroupBy))
 	for i, g := range reordered.GroupBy {
-		groups[i] = reordered.Col(g).Name
+		groups[i] = keyEscape(reordered.Col(g).Name)
 	}
 	sort.Strings(groups)
 	sel := make([]string, len(reordered.Select))
 	for i, it := range reordered.Select {
-		sel[i] = reordered.ExprSQLByName(it.Expr)
+		sel[i] = keyEscape(reordered.ExprSQLByName(it.Expr))
 	}
 	hav := make([]string, len(reordered.Having))
 	for i, h := range reordered.Having {
-		hav[i] = reordered.ExprSQLByName(h.L) + " " + h.Op.String() + " " + reordered.ExprSQLByName(h.R)
+		hav[i] = keyEscape(reordered.ExprSQLByName(h.L)) + " " + opKeyName(h.Op) + " " + keyEscape(reordered.ExprSQLByName(h.R))
 	}
 	sort.Strings(hav)
 	srcs := make([]string, len(reordered.Tables))
 	for i, t := range reordered.Tables {
-		srcs[i] = t.Source
+		srcs[i] = keyEscape(t.Source)
 	}
+	// The %v slice rendering joins elements with a space and wraps them
+	// in brackets; keyEscape has removed both characters from every
+	// element, so the rendering is unambiguous.
 	return fmt.Sprintf("D=%v S=%v F=%v W=%v G=%v H=%v",
 		reordered.Distinct, sel, srcs, preds, groups, hav)
 }
+
+// keyEscapeSet lists the characters the canonical-key renderings use
+// as structure: '%' (the escape introducer itself), the space and
+// comma delimiters, the %v slice brackets, and '='/';' separators.
+const keyEscapeSet = "% ,[]=;"
+
+// keyEscape percent-escapes the key-structure characters of one
+// fragment so data bytes can never masquerade as key structure — the
+// collision-freedom invariant the keyescape analyzer enforces
+// statically and TestCanonicalKeyCollisions probes dynamically.
+// Identifier-shaped fragments (the common case) pass through
+// unchanged, keeping the hot plan-cache path allocation-free.
+func keyEscape(s string) string {
+	if !strings.ContainsAny(s, keyEscapeSet) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(keyEscapeSet, c) >= 0 {
+			fmt.Fprintf(&b, "%%%02X", c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// termKeyName renders one closure term for the canonical key, escaped.
+func termKeyName(q *ir.Query, t constraints.Term) string {
+	if t.IsConst {
+		return keyEscape(t.C.String())
+	}
+	return keyEscape(q.Col(ir.ColID(t.V)).Name)
+}
+
+// opKeyName renders a comparison operator for the canonical key,
+// escaped (operators contain '=', which is also the key's field
+// separator).
+func opKeyName(op ir.Op) string { return keyEscape(op.String()) }
 
 // canonicalOrder picks a deterministic table permutation: sources in
 // lexicographic order, ties broken by each occurrence's original index

@@ -20,6 +20,7 @@ const pollBatchRows = 1024
 // entire ExecContext call including nested view materialization, so
 // budgets pool across the whole operation.
 type task struct {
+	//aggvet:ctxflow per-execution carrier resolved once at ExecContext entry, never stored across calls.
 	ctx   context.Context
 	meter *budget.Meter
 	inj   *faultinject.Injector

@@ -104,12 +104,12 @@ func All(ctx context.Context, w io.Writer, quick bool) {
 	E5MultiView(ctx, w)
 	E6SearchCost(ctx, w, quick)
 	E7Keys(ctx, w)
-	E8Negative(w)
+	E8Negative(ctx, w)
 	E9Closure(w, quick)
-	E10Having(w)
+	E10Having(ctx, w)
 	E11Maintenance(ctx, w, quick)
 	E12Advisor(ctx, w, quick)
-	E13Baseline(w)
+	E13Baseline(ctx, w)
 }
 
 // telcoSystem builds the Example 1.1 system with a materialized V1.
@@ -311,7 +311,7 @@ func E4Multiplicity(ctx context.Context, w io.Writer, quick bool) {
 
 	// Correctness on the counterexample.
 	verdicts := newTable("construction", "answer on counterexample", "verdict")
-	want, paper, ours := CounterexampleAnswers()
+	want, paper, ours := CounterexampleAnswers(ctx)
 	verdicts.row("original Q", want, "ground truth")
 	verdicts.row("published Q' (Ex. 4.2 verbatim)", paper, okness(paper == want))
 	verdicts.row("scaled-aggregate rewriting (this library)", ours, okness(ours == want))
@@ -338,8 +338,9 @@ func okness(ok bool) string {
 
 // CounterexampleAnswers evaluates the Example 4.2 counterexample and
 // returns the answers of the original query, the paper's literal Q',
-// and this library's rewriting.
-func CounterexampleAnswers() (want, paper, ours int64) {
+// and this library's rewriting. ctx bounds the three evaluations and
+// the rewrite search.
+func CounterexampleAnswers(ctx context.Context) (want, paper, ours int64) {
 	src := ir.MapSource{"R1": {"A", "B", "C", "D"}, "R2": {"E", "F"}}
 	db := engine.NewDB()
 	r1 := engine.NewRelation("A", "B", "C", "D")
@@ -361,21 +362,24 @@ func CounterexampleAnswers() (want, paper, ours int64) {
 	q := ir.MustBuild("SELECT A, SUM(E) FROM R1, R2 GROUP BY A", src)
 	paperQ := ir.MustBuild("SELECT V2.A, Cnt_Va * SUM(E) FROM V2, Va, R2 WHERE V2.A = Va.A4 GROUP BY V2.A, Cnt_Va", full)
 
-	rWant, err := engine.NewEvaluator(db, reg).Exec(q)
+	rWant, err := engine.NewEvaluator(db, reg).ExecContext(ctx, q)
 	if err != nil {
 		panic(err)
 	}
-	rPaper, err := engine.NewEvaluator(db, reg).Exec(paperQ)
+	rPaper, err := engine.NewEvaluator(db, reg).ExecContext(ctx, paperQ)
 	if err != nil {
 		panic(err)
 	}
 
 	rw := &core.Rewriter{Schema: src, Views: reg}
-	rws := rw.RewriteOnce(q, v2)
+	rws, err := rw.RewriteOnceContext(ctx, q, v2)
+	if err != nil {
+		panic(err)
+	}
 	if len(rws) == 0 {
 		panic("scaled-aggregate rewriting missing")
 	}
-	rOurs, err := engine.NewEvaluator(db, reg).Exec(rws[0].Query)
+	rOurs, err := engine.NewEvaluator(db, reg).ExecContext(ctx, rws[0].Query)
 	if err != nil {
 		panic(err)
 	}

@@ -205,7 +205,10 @@ func RunKeysCase(ctx context.Context, withKeys bool) (int, string) {
 		rw.Meta = keys.CatalogMeta{Catalog: cat}
 	}
 	q := ir.MustBuild("SELECT A FROM R1 WHERE B = C", cat)
-	rws := rw.RewriteOnce(q, v)
+	rws, err := rw.RewriteOnceContext(ctx, q, v)
+	if err != nil {
+		panic(err)
+	}
 	if len(rws) == 0 {
 		return 0, "n/a"
 	}
@@ -232,12 +235,12 @@ func RunKeysCase(ctx context.Context, withKeys bool) (int, string) {
 }
 
 // E8Negative machine-checks the paper's impossibility results (table
-// T8): each case must yield zero rewritings.
-func E8Negative(w io.Writer) {
+// T8): each case must yield zero rewritings. ctx bounds the searches.
+func E8Negative(ctx context.Context, w io.Writer) {
 	header(w, "E8", "Negative results (Sec. 4.2, 4.4, 4.5)",
 		"each construction below is unusable, and the rewriter must refuse it")
 	t := newTable("case", "paper section", "rewritings (want 0)")
-	for _, c := range NegativeCases() {
+	for _, c := range NegativeCases(ctx) {
 		t.row(c.Name, c.Section, c.Found)
 	}
 	t.flush(w)
@@ -250,8 +253,8 @@ type NegativeCase struct {
 	Found   int
 }
 
-// NegativeCases runs the gallery of must-fail constructions.
-func NegativeCases() []NegativeCase {
+// NegativeCases runs the gallery of must-fail constructions under ctx.
+func NegativeCases(ctx context.Context) []NegativeCase {
 	src := ir.MapSource{"R1": {"A", "B", "C", "D"}, "R2": {"E", "F"}}
 	mk := func(name, section, viewSQL, querySQL string, opts core.Options) NegativeCase {
 		reg := ir.NewRegistry()
@@ -264,7 +267,11 @@ func NegativeCases() []NegativeCase {
 		}
 		rw := &core.Rewriter{Schema: src, Views: reg, Opts: opts}
 		q := ir.MustBuild(querySQL, src)
-		return NegativeCase{Name: name, Section: section, Found: len(rw.RewriteOnce(q, v))}
+		rws, err := rw.RewriteOnceContext(ctx, q, v)
+		if err != nil {
+			panic(err)
+		}
+		return NegativeCase{Name: name, Section: section, Found: len(rws)}
 	}
 	return []NegativeCase{
 		mk("view without COUNT cannot recover multiplicities",
@@ -367,11 +374,11 @@ func RunClosure(nAtoms int) (closeT, impliesT time.Duration, closureAtoms, vars 
 // E10Having machine-checks the Section 3.3 pre-processing (table T10):
 // moving HAVING conditions into WHERE enables rewritings that are
 // otherwise missed (ablation via Options.NoNormalize).
-func E10Having(w io.Writer) {
+func E10Having(ctx context.Context, w io.Writer) {
 	header(w, "E10", "HAVING pre-processing (Sec. 3.3)",
 		"predicate move-around from HAVING to WHERE detects usability that the bare conditions miss")
 	t := newTable("case", "with pre-processing", "without (ablation)")
-	for _, c := range HavingCases() {
+	for _, c := range HavingCases(ctx) {
 		t.row(c.Name, c.With, c.Without)
 	}
 	t.flush(w)
@@ -383,8 +390,9 @@ type HavingCase struct {
 	With, Without int
 }
 
-// HavingCases runs the E10 workloads with and without normalization.
-func HavingCases() []HavingCase {
+// HavingCases runs the E10 workloads with and without normalization,
+// under ctx.
+func HavingCases(ctx context.Context) []HavingCase {
 	src := ir.MapSource{"R1": {"A", "B", "C", "D"}}
 	mk := func(name, viewSQL, querySQL string) HavingCase {
 		reg := ir.NewRegistry()
@@ -398,9 +406,15 @@ func HavingCases() []HavingCase {
 		q := ir.MustBuild(querySQL, src)
 		with := &core.Rewriter{Schema: src, Views: reg}
 		without := &core.Rewriter{Schema: src, Views: reg, Opts: core.Options{NoNormalize: true}}
-		return HavingCase{Name: name,
-			With:    len(with.RewriteOnce(q, v)),
-			Without: len(without.RewriteOnce(q, v))}
+		withRws, err := with.RewriteOnceContext(ctx, q, v)
+		if err != nil {
+			panic(err)
+		}
+		withoutRws, err := without.RewriteOnceContext(ctx, q, v)
+		if err != nil {
+			panic(err)
+		}
+		return HavingCase{Name: name, With: len(withRws), Without: len(withoutRws)}
 	}
 	return []HavingCase{
 		mk("HAVING A > 1 vs view slicing A > 1",

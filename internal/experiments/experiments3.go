@@ -71,12 +71,12 @@ func RunMaintenance(ctx context.Context, baseRows, batches, batchSize int) (incr
 	// Incremental.
 	db1, reg1 := mkDB()
 	m := maintain.New(db1, reg1)
-	if inc, err := m.Track("DailyAcct"); err != nil || !inc {
+	if inc, err := m.TrackContext(ctx, "DailyAcct"); err != nil || !inc {
 		panic("DailyAcct should track incrementally")
 	}
 	start := time.Now()
 	for b := 0; b < batches; b++ {
-		if err := m.Insert("Txns", mkBatch(b)...); err != nil {
+		if err := m.InsertContext(ctx, "Txns", mkBatch(b)...); err != nil {
 			panic(err)
 		}
 	}
@@ -162,7 +162,7 @@ func RunAdvisor(ctx context.Context, calls int) (nViews, viewRows int, before, a
 	}
 
 	before, beforeRes := run()
-	recs, err := s.Advise(workload, nil, 0)
+	recs, err := s.AdviseContext(ctx, workload, nil, 0)
 	if err != nil {
 		panic(err)
 	}

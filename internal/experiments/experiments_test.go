@@ -30,7 +30,7 @@ func TestAllQuick(t *testing.T) {
 }
 
 func TestCounterexampleAnswers(t *testing.T) {
-	want, paper, ours := CounterexampleAnswers()
+	want, paper, ours := CounterexampleAnswers(t.Context())
 	if want != 10 {
 		t.Fatalf("ground truth should be 10, got %d", want)
 	}
@@ -68,7 +68,7 @@ func TestKeysCases(t *testing.T) {
 }
 
 func TestNegativeCasesAllZero(t *testing.T) {
-	for _, c := range NegativeCases() {
+	for _, c := range NegativeCases(t.Context()) {
 		if c.Found != 0 {
 			t.Errorf("%s (Sec. %s): found %d rewritings, want 0", c.Name, c.Section, c.Found)
 		}
@@ -76,7 +76,7 @@ func TestNegativeCasesAllZero(t *testing.T) {
 }
 
 func TestHavingAblation(t *testing.T) {
-	for _, c := range HavingCases() {
+	for _, c := range HavingCases(t.Context()) {
 		if c.With == 0 {
 			t.Errorf("%s: pre-processing should enable the rewriting", c.Name)
 		}
@@ -155,7 +155,7 @@ func TestAdvisorExperiment(t *testing.T) {
 }
 
 func TestBaselineCorpus(t *testing.T) {
-	cases := BaselineCases()
+	cases := BaselineCases(t.Context())
 	baseHits, ourHits := 0, 0
 	for _, c := range cases {
 		if !c.Rewriter {

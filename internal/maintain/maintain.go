@@ -16,6 +16,7 @@
 package maintain
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,14 +61,21 @@ func New(db *engine.DB, views *ir.Registry) *Maintainer {
 
 // Track materializes the named view (if needed) and begins maintaining
 // it. It reports whether maintenance is incremental or recompute-based.
+// Track runs unbounded; use TrackContext to bound the materialization.
 func (m *Maintainer) Track(name string) (incremental bool, err error) {
+	return m.TrackContext(context.Background(), name)
+}
+
+// TrackContext is Track under a context: cancellation and deadline
+// expiry abort the initial materialization with a typed error.
+func (m *Maintainer) TrackContext(ctx context.Context, name string) (incremental bool, err error) {
 	v, ok := m.views.Get(name)
 	if !ok {
 		return false, fmt.Errorf("maintain: unknown view %q", name)
 	}
 	st := &state{def: v}
 	st.incremental = classify(v.Def, st)
-	rel, err := engine.NewEvaluator(m.db, m.views).Exec(v.Def)
+	rel, err := engine.NewEvaluator(m.db, m.views).ExecContext(ctx, v.Def)
 	if err != nil {
 		return false, err
 	}
@@ -138,8 +146,18 @@ func (st *state) groupKey(tuple []value.Value) string {
 }
 
 // Insert appends rows to a base table and updates every tracked view
-// that depends on it.
+// that depends on it. Insert runs unbounded; use InsertContext to bound
+// the delta evaluations and recomputations.
 func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
+	return m.InsertContext(context.Background(), table, rows...)
+}
+
+// InsertContext is Insert under a context: cancellation and deadline
+// expiry abort the delta evaluation or recomputation with a typed
+// error. An abort between the view update and the base append leaves
+// the materializations untouched (deltas merge only after their
+// evaluation succeeds), so a canceled insert is a clean no-op.
+func (m *Maintainer) InsertContext(ctx context.Context, table string, rows ...[]value.Value) error {
 	rel, ok := m.db.Get(table)
 	if !ok {
 		return fmt.Errorf("maintain: unknown table %q", table)
@@ -173,7 +191,7 @@ func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
 			}(st)
 			continue
 		}
-		if err := m.applyDelta(st, table, delta); err != nil {
+		if err := m.applyDelta(ctx, st, table, delta); err != nil {
 			return err
 		}
 	}
@@ -197,7 +215,7 @@ func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
 		if occurrences == 0 || (st.incremental && occurrences == 1) {
 			continue
 		}
-		if err := m.recompute(st); err != nil {
+		if err := m.recompute(ctx, st); err != nil {
 			return err
 		}
 	}
@@ -207,7 +225,7 @@ func (m *Maintainer) Insert(table string, rows ...[]value.Value) error {
 // applyDelta evaluates the view definition with the changed table
 // replaced by the delta rows and merges the result into the
 // materialization.
-func (m *Maintainer) applyDelta(st *state, table string, delta *engine.Relation) error {
+func (m *Maintainer) applyDelta(ctx context.Context, st *state, table string, delta *engine.Relation) error {
 	// Shadow DB: same relations, with `table` bound to the delta.
 	shadow := engine.NewDB()
 	for _, t := range st.def.Def.Tables {
@@ -219,7 +237,7 @@ func (m *Maintainer) applyDelta(st *state, table string, delta *engine.Relation)
 			shadow.Put(t.Source, rel)
 		}
 	}
-	deltaRes, err := engine.NewEvaluator(shadow, m.views).Exec(st.def.Def)
+	deltaRes, err := engine.NewEvaluator(shadow, m.views).ExecContext(ctx, st.def.Def)
 	if err != nil {
 		return err
 	}
@@ -272,8 +290,8 @@ func mergeAgg(fn ir.AggFunc, old, delta value.Value) (value.Value, error) {
 }
 
 // recompute fully re-evaluates a tracked view.
-func (m *Maintainer) recompute(st *state) error {
-	rel, err := engine.NewEvaluator(m.db, m.views).Exec(st.def.Def)
+func (m *Maintainer) recompute(ctx context.Context, st *state) error {
+	rel, err := engine.NewEvaluator(m.db, m.views).ExecContext(ctx, st.def.Def)
 	if err != nil {
 		return err
 	}

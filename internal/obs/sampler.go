@@ -54,6 +54,8 @@ func (s *Sampler) loop() {
 
 // Stop halts the sampler and joins the monitor goroutine; after Stop
 // returns, sample will never be invoked again.
+//
+//aggvet:ctxflow bounded join: loop exits at its next tick once done closes, so the recv cannot block indefinitely.
 func (s *Sampler) Stop() {
 	close(s.done)
 	<-s.stopped

@@ -11,6 +11,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -164,8 +165,17 @@ func (c *Case) Clone() *Case {
 
 // Compile loads the case into a fresh aggview.System: schema and view
 // definitions, table contents, and every view materialized. The
-// returned system is ready for direct execution and rewriting.
+// returned system is ready for direct execution and rewriting. Compile
+// is CompileContext with a background context.
 func (c *Case) Compile(opts aggview.Options) (*aggview.System, error) {
+	//aggvet:ctxflow Background shim by design; CompileContext is the bounded variant.
+	return c.CompileContext(context.Background(), opts)
+}
+
+// CompileContext is Compile under a context: the view
+// materializations it performs honor ctx's cancellation, deadline and
+// budget.
+func (c *Case) CompileContext(ctx context.Context, opts aggview.Options) (*aggview.System, error) {
 	sys := aggview.New()
 	sys.Opts = opts
 	for _, t := range c.Tables {
@@ -184,7 +194,7 @@ func (c *Case) Compile(opts aggview.Options) (*aggview.System, error) {
 		}
 	}
 	for _, v := range c.Views {
-		if _, err := sys.Materialize(v.Name); err != nil {
+		if _, err := sys.MaterializeContext(ctx, v.Name); err != nil {
 			return nil, fmt.Errorf("oracle: materialize %s: %w", v.Name, err)
 		}
 	}

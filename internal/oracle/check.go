@@ -140,7 +140,7 @@ func Check(c *Case, opt Options) (*Outcome, error) {
 // injection pass derives each per-run armed context from ctx.
 func CheckContext(ctx context.Context, c *Case, opt Options) (*Outcome, error) {
 	opt = opt.withDefaults()
-	sys, err := c.Compile(aggview.Options{
+	sys, err := c.CompileContext(ctx, aggview.Options{
 		PaperFaithful: opt.PaperFaithful,
 		MaxRewritings: opt.MaxRewritings,
 	})

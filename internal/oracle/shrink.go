@@ -1,5 +1,7 @@
 package oracle
 
+import "context"
+
 // Shrinking: greedily remove structure — views, clauses, rows, tables —
 // keeping each reduction only when the case still fails. The strategy
 // is a fixpoint of cheap passes rather than delta debugging: cases are
@@ -20,17 +22,27 @@ const shrinkBudget = 400
 // b1's accept/reject sequence exactly and then keeps reducing, and
 // every accepted candidate only removes structure — so a larger budget
 // never yields a larger repro.
+//
+// Shrink is ShrinkContext with a background context.
 func Shrink(c *Case, opt Options) *Case {
+	//aggvet:ctxflow Background shim by design; ShrinkContext is the bounded variant.
+	return ShrinkContext(context.Background(), c, opt)
+}
+
+// ShrinkContext is Shrink under a context: every candidate check runs
+// under ctx, and once ctx ends no further reductions are attempted —
+// the smallest failing variant found so far is returned.
+func ShrinkContext(ctx context.Context, c *Case, opt Options) *Case {
 	budget := opt.ShrinkBudget
 	if budget <= 0 {
 		budget = shrinkBudget
 	}
 	fails := func(cand *Case) bool {
-		if budget <= 0 {
+		if budget <= 0 || ctx.Err() != nil {
 			return false
 		}
 		budget--
-		out, err := Check(cand, opt)
+		out, err := CheckContext(ctx, cand, opt)
 		// A candidate the system rejects outright is not a smaller
 		// repro of the same failure; discard it.
 		return err == nil && !out.OK()

@@ -18,6 +18,8 @@ type InProcessExec struct {
 }
 
 // Do implements Doer over ServeHTTP.
+//
+//aggvet:ctxflow Doer mirrors http.Client.Do: the request carries its own context.
 func (e *InProcessExec) Do(req *http.Request) (*http.Response, error) {
 	rec := &responseRecorder{code: http.StatusOK, header: http.Header{}}
 	e.S.Handler().ServeHTTP(rec, req)

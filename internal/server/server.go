@@ -231,7 +231,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	err = s.sys.Insert(req.Table, rows...)
+	err = s.sys.InsertContext(r.Context(), req.Table, rows...)
 	s.mu.Unlock()
 	if err != nil {
 		s.writeError(w, req.Tenant, ErrKindBadRequest, http.StatusBadRequest, err)

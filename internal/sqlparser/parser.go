@@ -197,7 +197,7 @@ func (p *parser) parseLiteral() (value.Value, error) {
 		p.i++
 		v, err := formatNumber(t.text)
 		if err != nil {
-			return value.Value{}, fmt.Errorf("line %d: bad number %q: %v", t.line, t.text, err)
+			return value.Value{}, fmt.Errorf("line %d: bad number %q: %w", t.line, t.text, err)
 		}
 		return v, nil
 	case t.kind == tokString:
@@ -572,7 +572,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.i++
 		v, err := formatNumber(t.text)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: bad number %q: %v", t.line, t.text, err)
+			return nil, fmt.Errorf("line %d: bad number %q: %w", t.line, t.text, err)
 		}
 		return &Lit{Val: v}, nil
 	case tokString:

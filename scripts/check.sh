@@ -10,10 +10,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 
-# Project-specific static analysis (DESIGN.md section 8): the aggvet
-# analyzers guard the determinism/float/IR-construction/goroutine-join
-# invariants, and `aggview lint` gates the bundled catalog on the IR
-# soundness checks. Both fail on any diagnostic.
+# Project-specific static analysis (DESIGN.md section 8): the nine
+# aggvet analyzers guard the determinism, float-comparison,
+# IR-construction and goroutine-join invariants plus the fact-based v2
+# checks — ctx threading on blocking paths (ctxflow), typed-error
+# classification and %w wrapping (errtaxonomy), charge/refund balance
+# on cached entries (budgetbalance), index-ordered parallel merges
+# (detmerge) and canonical-key escaping (keyescape). The gate is zero
+# unsuppressed findings; on failure aggvet prints per-analyzer finding
+# and suppression counts to stderr, and `make vet-json` writes the same
+# tallies as a benchjson.VetReport. `aggview lint` gates the bundled
+# catalog on the IR soundness checks.
 go run ./cmd/aggvet ./...
 go run ./cmd/aggview lint cmd/aggview/testdata/demo.sql
 
