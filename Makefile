@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vet-json check bench bench-json bench-smoke quick soak trace faults serve-smoke load
+.PHONY: build test race vet lint vet-json check bench bench-json bench-smoke quick soak trace faults serve-smoke load flightrec
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,15 @@ serve-smoke:
 # the repo root.
 load:
 	$(GO) run ./cmd/loadrunner -seed 7 -sessions 8 -rounds 6 -n 1200 -json BENCH_PR7.json
+
+# flightrec runs a seeded in-process soak with a 1ns slow-query
+# threshold (every answered query captured) and regenerates the
+# telemetry report checked in at the repo root: per-tenant latency
+# quantiles, flight-recorder occupancy, and slow-query repros replayed
+# offline — each must reproduce the recorded answer bag exactly
+# (DESIGN.md section 13).
+flightrec:
+	$(GO) run ./cmd/loadrunner -seed 7 -sessions 6 -rounds 4 -n 400 -slow 1ns -telemetry BENCH_PR9.json
 
 # soak runs the differential-testing oracle over a fixed seed set, both
 # rewriter configurations, and writes a failure report (empty on a clean

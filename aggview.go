@@ -183,6 +183,12 @@ func (s *System) Load(script string) error {
 			if err != nil {
 				return err
 			}
+			if len(x.Columns) > 0 {
+				if len(x.Columns) != len(v.OutCols) {
+					return fmt.Errorf("view %s: %d column names for %d outputs", x.Name, len(x.Columns), len(v.OutCols))
+				}
+				v.OutCols = append([]string{}, x.Columns...)
+			}
 			if err := s.Views.Add(v); err != nil {
 				return err
 			}
@@ -545,6 +551,9 @@ func (s *System) planFlat(ctx context.Context, op string, flat *ir.Query, anon *
 	if err != nil {
 		if budget.IsExceeded(err) {
 			s.noteFallback(op, err)
+			// Whether the budget cut the search is deterministic for a
+			// fixed call sequence, so the event is span-safe.
+			obs.SpanFrom(ctx).Event("facade.fallback", op)
 			return nil, nil
 		}
 		return nil, err
@@ -621,15 +630,21 @@ func (s *System) Prepare(sql string) (*Prepared, error) {
 func (s *System) PrepareContext(ctx context.Context, sql string) (*Prepared, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	sp := obs.SpanFrom(ctx)
+	stParse := sp.StartStage("facade.parse")
 	q, anon, err := s.parseMulti(sql)
 	if err != nil {
+		stParse.End(0)
 		return nil, err
 	}
 	flat, err := s.flattenMulti(q, anon)
+	stParse.End(0)
 	if err != nil {
 		return nil, err
 	}
+	stSearch := sp.StartStage("facade.search")
 	rw, err := s.planFlat(ctx, "Prepare", flat, anon)
+	stSearch.End(0)
 	if err != nil {
 		return nil, err
 	}
@@ -695,10 +710,18 @@ func (s *System) ExecPrepared(p *Prepared) (*Result, error) {
 func (s *System) ExecPreparedContext(ctx context.Context, p *Prepared) (*Result, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	st := obs.SpanFrom(ctx).StartStage("facade.execute")
+	q := p.direct
 	if p.rw != nil {
-		return s.evaluator(p.reg).ExecContext(ctx, p.rw.Query)
+		q = p.rw.Query
 	}
-	return s.evaluator(p.reg).ExecContext(ctx, p.direct)
+	res, err := s.evaluator(p.reg).ExecContext(ctx, q)
+	if err != nil {
+		st.End(0)
+		return nil, err
+	}
+	st.End(int64(len(res.Tuples)))
+	return res, nil
 }
 
 // QueryBest executes the query through its cheapest plan. The second
@@ -718,22 +741,34 @@ func (s *System) QueryBest(sql string) (*Result, *Rewriting, error) {
 func (s *System) QueryBestContext(ctx context.Context, sql string) (*Result, *Rewriting, error) {
 	ctx, cancel := s.opCtx(ctx)
 	defer cancel()
+	sp := obs.SpanFrom(ctx)
+	stSearch := sp.StartStage("facade.search")
 	r, err := s.plan(ctx, sql)
+	stSearch.End(0)
 	if err != nil {
 		return nil, nil, err
 	}
+	stExec := sp.StartStage("facade.execute")
 	if r == nil {
 		res, err := s.query(ctx, sql)
-		return res, nil, err
+		if err != nil {
+			stExec.End(0)
+			return nil, nil, err
+		}
+		stExec.End(int64(len(res.Tuples)))
+		return res, nil, nil
 	}
 	reg, err := s.viewsWithAux(r)
 	if err != nil {
+		stExec.End(0)
 		return nil, nil, err
 	}
 	res, err := s.evaluator(reg).ExecContext(ctx, r.Query)
 	if err != nil {
+		stExec.End(0)
 		return nil, nil, err
 	}
+	stExec.End(int64(len(res.Tuples)))
 	return res, r, nil
 }
 

@@ -11,9 +11,11 @@
 //	    -addr-file /tmp/aggserve.addr                        # ephemeral port, written to a file
 //	go run ./cmd/aggserve -script db.sql -rate 50 -deadline 2s
 //	go run ./cmd/aggserve -script db.sql -tenants tenants.json
+//	go run ./cmd/aggserve -script db.sql -slow 50ms           # capture slow-query repros
 //
 // Endpoints: POST /query, POST /insert, POST /admin/faults,
-// GET /metrics, GET /healthz, GET /script.
+// GET /metrics, GET /healthz, GET /script, GET /debug/flightrec,
+// GET /debug/slowlog.
 package main
 
 import (
@@ -51,6 +53,9 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "JSON file mapping tenant name to its admission config")
 	paper := flag.Bool("paper", false, "paper-faithful rewriter configuration")
 	workers := flag.Int("workers", 0, "engine worker count (0: GOMAXPROCS, 1: serial)")
+	slow := flag.Duration("slow", 0, "default tenant slow-query threshold (0: no slow-query capture)")
+	flightrec := flag.Int("flightrec", 0, "span flight-recorder capacity (0: default 256, negative: disable spans)")
+	slowlog := flag.Int("slowlog", 0, "slow-query log retention in entries (0: default 64, negative: disable)")
 	flag.Parse()
 
 	if *script == "" {
@@ -69,7 +74,10 @@ func main() {
 			Deadline:      *deadline,
 			MaxRows:       *maxRows,
 			MaxCandidates: *maxCandidates,
+			SlowQueryNs:   slow.Nanoseconds(),
 		},
+		FlightRecorder: *flightrec,
+		SlowLogSize:    *slowlog,
 	}
 	if *tenantsFile != "" {
 		data, err := os.ReadFile(*tenantsFile)
@@ -165,7 +173,11 @@ func loadSystem(path string, paper bool, workers int) (*aggview.System, error) {
 				return nil, err
 			}
 		case *sqlparser.CreateView:
-			if err := sys.Load("CREATE VIEW " + x.Name + " AS " + x.Query.SQL()); err != nil {
+			decl := "CREATE VIEW " + x.Name
+			if len(x.Columns) > 0 {
+				decl += "(" + strings.Join(x.Columns, ", ") + ")"
+			}
+			if err := sys.Load(decl + " AS " + x.Query.SQL()); err != nil {
 				return nil, err
 			}
 		case *sqlparser.Insert:

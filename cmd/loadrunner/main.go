@@ -33,6 +33,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -58,6 +59,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "in-process default tenant admission rate in requests/s (0: unlimited)")
 	tenants := flag.Int("tenants", 3, "distinct tenant names to spread sessions across")
 	jsonOut := flag.String("json", "", "write a benchjson.LoadReport to this file")
+	slow := flag.Duration("slow", 0, "in-process slow-query threshold (0: no slow-query capture); external servers configure theirs via aggserve -slow")
+	telemetry := flag.String("telemetry", "", "after the soak, scrape /metrics, /debug/flightrec and /debug/slowlog, replay slow-query repros offline, and write a benchjson.TelemetryReport to this file")
+	scrapeGauge := flag.String("scrape-gauge", "", "scrape one process gauge (e.g. server.goroutines) from -addr's /metrics, print its value, and exit — the external leak probe's primitive")
 	timeout := flag.Duration("timeout", 5*time.Minute, "hard deadline for the whole soak")
 	flag.Parse()
 
@@ -66,11 +70,27 @@ func main() {
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
 
+	if *scrapeGauge != "" {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "loadrunner: -scrape-gauge requires -addr")
+			os.Exit(2)
+		}
+		c := &server.Client{Base: *addr}
+		v, err := c.Gauge(ctx, *scrapeGauge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Println(v)
+		return
+	}
+
 	if err := run(ctx, config{
 		seed: *seed, sessions: *sessions, rounds: *rounds, n: *n,
 		poolSize: *poolSize, addr: *addr, emit: *emit, mutate: *mutate,
 		faults: *faults, cancelFrac: *cancelFrac, rate: *rate,
 		tenants: *tenants, jsonOut: *jsonOut,
+		slow: *slow, telemetry: *telemetry,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "loadrunner:", err)
 		os.Exit(1)
@@ -86,6 +106,8 @@ type config struct {
 	cancelFrac, rate    float64
 	tenants             int
 	jsonOut             string
+	slow                time.Duration
+	telemetry           string
 }
 
 // tally collects the soak's counters; latencies in nanoseconds.
@@ -144,7 +166,10 @@ func run(ctx context.Context, cfg config) error {
 				return fmt.Errorf("tracking view %s: %w", v.Name, err)
 			}
 		}
-		srv = server.New(sys, server.Config{DefaultTenant: server.TenantConfig{Rate: cfg.rate}})
+		srv = server.New(sys, server.Config{DefaultTenant: server.TenantConfig{
+			Rate:        cfg.rate,
+			SlowQueryNs: cfg.slow.Nanoseconds(),
+		}})
 		defer srv.Close()
 		doer = &server.InProcessExec{S: srv}
 		base = "http://inproc"
@@ -271,6 +296,11 @@ func run(ctx context.Context, cfg config) error {
 		}
 		fmt.Fprintf(os.Stderr, "loadrunner: wrote report to %s\n", cfg.jsonOut)
 	}
+	if cfg.telemetry != "" {
+		if err := collectTelemetry(ctx, admin, cfg, inproc); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
 	fmt.Printf("load: %d requests, %d ok, %d mismatches, %d shed, %d typed errors, %d untyped, %d cancels; cache %d/%d (hit rate %.2f); p50=%s p99=%s; leaked=%d\n",
 		rep.Requests, rep.OK, rep.Mismatches, rep.Shed, rep.TypedErrors, rep.UntypedErrors,
 		rep.ClientCancels, rep.CacheHits, rep.CacheHits+rep.CacheMisses, rep.HitRate,
@@ -288,6 +318,130 @@ func run(ctx context.Context, cfg config) error {
 		return fmt.Errorf("%d leaked goroutines", rep.LeakedGoroutines)
 	case rep.CacheHits == 0 && rep.OK > int64(2*len(sqls)):
 		return fmt.Errorf("plan cache never hit over %d answered repeats of %d shapes", rep.OK, len(sqls))
+	}
+	return nil
+}
+
+// maxReplayedRepros bounds the offline replay sample per telemetry
+// pass; entries beyond it are counted but not re-executed (noted in the
+// report so the cap is never silent).
+const maxReplayedRepros = 4
+
+// collectTelemetry scrapes the server's telemetry surfaces after the
+// soak and writes a benchjson.TelemetryReport: per-tenant latency
+// quantiles from /metrics, flight-recorder occupancy (strict-decoded,
+// so schema drift fails loudly), and the slow-query log with a sample
+// of repros replayed offline. Each replayed script must reproduce the
+// exact answer bag the server recorded; with a slow threshold set, a
+// run that captured no slow queries is an error too.
+func collectTelemetry(ctx context.Context, c *server.Client, cfg config, inproc bool) error {
+	rep := benchjson.NewTelemetry(cfg.seed)
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	const pfx = "server.latency."
+	var names []string
+	for name := range m.Metrics.Latencies {
+		if strings.HasPrefix(name, pfx) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ls := m.Metrics.Latencies[name]
+		rep.Tenants = append(rep.Tenants, benchjson.TenantLatency{
+			Tenant: strings.TrimPrefix(name, pfx),
+			Count:  ls.Count,
+			SumNs:  ls.SumNs,
+			P50Ns:  ls.P50Ns,
+			P95Ns:  ls.P95Ns,
+			P99Ns:  ls.P99Ns,
+		})
+	}
+
+	fr, err := c.FlightRec(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping /debug/flightrec: %w", err)
+	}
+	rep.FlightCapacity = fr.Capacity
+	rep.FlightAppended = fr.Appended
+	rep.FlightDropped = fr.Dropped
+	rep.FlightSpans = len(fr.Spans)
+
+	sl, err := c.SlowLog(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping /debug/slowlog: %w", err)
+	}
+	rep.SlowTotal = sl.Total
+	rep.SlowRetained = len(sl.Entries)
+	// Prefer repros whose recorded answer is non-empty: bag-equality on
+	// two empty relations is trivially true, so an all-empty sample
+	// would not actually exercise the replay contract.
+	sample := make([]server.SlowEntry, 0, len(sl.Entries))
+	for _, e := range sl.Entries {
+		if len(e.Rows) > 0 {
+			sample = append(sample, e)
+		}
+	}
+	for _, e := range sl.Entries {
+		if len(e.Rows) == 0 {
+			sample = append(sample, e)
+		}
+	}
+	if len(sample) > maxReplayedRepros {
+		sample = sample[:maxReplayedRepros]
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("replayed %d of %d retained repros", maxReplayedRepros, len(sl.Entries)))
+	}
+	for _, e := range sample {
+		cs, err := oracle.Replay(e.Script)
+		if err != nil {
+			return fmt.Errorf("replaying repro %q: %w", e.SQL, err)
+		}
+		fresh, err := cs.Compile(aggview.Options{})
+		if err != nil {
+			return fmt.Errorf("compiling repro %q: %w", e.SQL, err)
+		}
+		fresh.Opts.Workers = 1
+		got, err := fresh.QueryContext(ctx, cs.Query.SQL())
+		if err != nil {
+			return fmt.Errorf("running repro %q: %w", e.SQL, err)
+		}
+		want, err := server.DecodeRelation(e.Attrs, e.Rows)
+		if err != nil {
+			return fmt.Errorf("decoding recorded answer of %q: %w", e.SQL, err)
+		}
+		match := engine.ResultsEqualBag(want, got)
+		if !match {
+			rep.ReproMismatches++
+		}
+		rep.Repros = append(rep.Repros, benchjson.ReplayedRepro{
+			SQL:       e.SQL,
+			Tenant:    e.Tenant,
+			ElapsedNs: e.ElapsedNs,
+			Rows:      len(e.Rows),
+			Match:     match,
+		})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("inproc=%v slow_threshold=%s", inproc, cfg.slow))
+
+	if err := rep.WriteFile(cfg.telemetry); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadrunner: wrote telemetry to %s\n", cfg.telemetry)
+	fmt.Printf("telemetry: %d tenants, flight %d/%d spans (%d dropped), slow %d captured %d retained, %d repros replayed, %d mismatches\n",
+		len(rep.Tenants), rep.FlightSpans, rep.FlightCapacity, rep.FlightDropped,
+		rep.SlowTotal, rep.SlowRetained, len(rep.Repros), rep.ReproMismatches)
+
+	switch {
+	case rep.ReproMismatches > 0:
+		return fmt.Errorf("%d slow-query repros did not reproduce the recorded answer", rep.ReproMismatches)
+	case cfg.slow > 0 && rep.SlowTotal == 0:
+		return fmt.Errorf("slow threshold %s set but no slow queries captured", cfg.slow)
+	case len(rep.Tenants) == 0:
+		return fmt.Errorf("no per-tenant latency histograms in /metrics")
 	}
 	return nil
 }

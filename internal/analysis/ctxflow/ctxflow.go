@@ -55,6 +55,9 @@ var threadPkgs = map[string]bool{
 	"advisor":     true,
 	"maintain":    true,
 	"server":      true,
+	// The span pipeline hangs off context.Context (WithSpan/SpanFrom);
+	// a dropped ctx in obs silently detaches a request's telemetry.
+	"obs": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -41,6 +41,10 @@ var kernelPkgs = map[string]bool{
 	"core":   true,
 	"oracle": true,
 	"server": true,
+	// The telemetry layer's snapshots (flight recorder, span stages)
+	// are compared byte-for-byte across worker counts, so its merges
+	// carry the same index-ordered obligation as the kernels.
+	"obs": true,
 }
 
 // Analyzer flags completion-order result merges in the kernel packages.

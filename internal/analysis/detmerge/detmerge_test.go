@@ -10,3 +10,7 @@ import (
 func TestDetMerge(t *testing.T) {
 	analysistest.Run(t, detmerge.Analyzer, "testdata/src/engine")
 }
+
+func TestDetMergeObs(t *testing.T) {
+	analysistest.Run(t, detmerge.Analyzer, "testdata/src/obs")
+}

@@ -1,0 +1,74 @@
+// Package obs is the detmerge fixture for the telemetry layer: the
+// flight recorder's seq-claimed ring-buffer store (quiet — each writer
+// commits to the slot its sequence number names) against the tempting
+// completion-order alternative (append under a mutex from concurrent
+// recorders), plus a snapshot that restores order by sorting on the
+// deterministic sequence.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+type record struct {
+	Seq  uint64
+	Name string
+}
+
+// BadRecordMerge collects records from worker goroutines by appending
+// in completion order — the mutex fixes the race, not the order, so
+// two identical runs snapshot differently: flagged.
+func BadRecordMerge(names []string) []record {
+	var out []record
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, record{Seq: uint64(i), Name: n}) // want `completion order`
+			mu.Unlock()
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// ring mirrors the flight recorder: writers claim a sequence number
+// and store into the slot it names.
+type ring struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[record]
+}
+
+// RingStore is the sanctioned idiom — every writer commits to its own
+// seq-indexed slot, so occupancy is a pure function of the append
+// count: quiet.
+func (r *ring) RingStore(names []string) {
+	var wg sync.WaitGroup
+	for _, n := range names {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			seq := r.seq.Add(1) - 1
+			r.slots[seq%uint64(len(r.slots))].Store(&record{Seq: seq, Name: n})
+		}(n)
+	}
+	wg.Wait()
+}
+
+// SortedSnapshot drains the slots in scan order, then restores the
+// deterministic order by sorting on the stored sequence: quiet.
+func (r *ring) SortedSnapshot() []record {
+	var out []record
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -62,3 +62,44 @@ func InlineJoin(snapshot func() string) string {
 	go func() { ch <- snapshot() }()
 	return <-ch
 }
+
+// ringMonitor mirrors a flight-recorder drainer: a goroutine that
+// periodically snapshots the ring until closed.
+type ringMonitor struct {
+	done    chan struct{}
+	stopped chan struct{}
+	drain   func()
+}
+
+// StartDrainLeaky launches the drainer with no join construct and no
+// ownership-transfer justification: flagged.
+func (m *ringMonitor) StartDrainLeaky() {
+	go m.drainLoop() // want `no join in the function`
+}
+
+// StartDrain is the sanctioned ring-buffer monitor: the launch carries
+// the justification because Close owns the join.
+func (m *ringMonitor) StartDrain() {
+	m.done = make(chan struct{})
+	m.stopped = make(chan struct{})
+	//aggvet:waitleak ring-buffer monitor: ownership transfers to Close, which closes done and joins via the stopped channel
+	go m.drainLoop()
+}
+
+// Close joins the drainer.
+func (m *ringMonitor) Close() {
+	close(m.done)
+	<-m.stopped
+}
+
+func (m *ringMonitor) drainLoop() {
+	defer close(m.stopped)
+	for {
+		select {
+		case <-m.done:
+			return
+		default:
+			m.drain()
+		}
+	}
+}

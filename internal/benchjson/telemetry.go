@@ -1,0 +1,88 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// TenantLatency is one tenant's served-latency summary, read from the
+// server's fixed-boundary histogram (quantiles are therefore bucket
+// upper edges, not exact order statistics).
+type TenantLatency struct {
+	Tenant string `json:"tenant"`
+	Count  int64  `json:"count"`
+	SumNs  int64  `json:"sum_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
+// ReplayedRepro is one slow-query repro re-checked offline: the script
+// from the server's slow-query log was replayed through oracle.Replay
+// on a fresh system and bag-compared against the answer the server
+// recorded.
+type ReplayedRepro struct {
+	SQL       string `json:"sql"`
+	Tenant    string `json:"tenant,omitempty"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	Rows      int    `json:"rows"`
+	Match     bool   `json:"match"`
+}
+
+// TelemetryReport is the machine-readable emission of a loadrunner
+// telemetry pass (-telemetry): the per-tenant latency histograms, the
+// flight recorder's occupancy, and the slow-query log with its repros
+// replayed offline. A healthy run has ReproMismatches == 0 and, when a
+// slow-query threshold was set, SlowTotal >= 1.
+type TelemetryReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+
+	// Seed is the workload generator seed the soak ran with.
+	Seed int64 `json:"seed"`
+
+	// Tenants holds one latency summary per tenant label, sorted by
+	// tenant name.
+	Tenants []TenantLatency `json:"tenants"`
+
+	// Flight recorder occupancy at scrape time.
+	FlightCapacity int    `json:"flight_capacity"`
+	FlightAppended uint64 `json:"flight_appended"`
+	FlightDropped  uint64 `json:"flight_dropped"`
+	FlightSpans    int    `json:"flight_spans"`
+
+	// SlowTotal counts every slow query the server captured;
+	// SlowRetained how many entries the log still held.
+	SlowTotal    int64 `json:"slow_total"`
+	SlowRetained int   `json:"slow_retained"`
+
+	// Repros are the replayed slow-query repros (bounded sample);
+	// ReproMismatches counts those whose offline answer differed from
+	// the server's recorded answer — must be zero.
+	Repros          []ReplayedRepro `json:"repros"`
+	ReproMismatches int             `json:"repro_mismatches"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// NewTelemetry returns a telemetry report stamped with the runtime
+// configuration.
+func NewTelemetry(seed int64) *TelemetryReport {
+	return &TelemetryReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+	}
+}
+
+// WriteFile marshals the report, indented, to path.
+func (r *TelemetryReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

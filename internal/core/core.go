@@ -372,6 +372,11 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 		limit = 128
 	}
 	traceOn := rw.Tracer.Enabled()
+	// A request span on the context tallies candidate verdicts even when
+	// no tracer is attached; either consumer makes the per-candidate
+	// events worth building.
+	sp := obs.SpanFrom(st.ctx)
+	collect := traceOn || sp.Enabled()
 	views := rw.Views.All()
 	seen := map[string]bool{canonicalKey(q): true}
 	var results []*Rewriting
@@ -408,14 +413,14 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 						if i >= len(jobs) {
 							return
 						}
-						steps[i], events[i], errs[i] = rw.rewriteOnce(st, jobs[i].cur.Query, jobs[i].v, traceOn)
+						steps[i], events[i], errs[i] = rw.rewriteOnce(st, jobs[i].cur.Query, jobs[i].v, collect)
 					}
 				}()
 			}
 			wg.Wait()
 		} else {
 			for i, j := range jobs {
-				steps[i], events[i], errs[i] = rw.rewriteOnce(st, j.cur.Query, j.v, traceOn)
+				steps[i], events[i], errs[i] = rw.rewriteOnce(st, j.cur.Query, j.v, collect)
 				if errs[i] != nil {
 					break
 				}
@@ -429,7 +434,7 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 				return nil, err
 			}
 		}
-		if traceOn {
+		if collect {
 			for i := range events {
 				for p := range events[i] {
 					events[i][p].Wave = wave
@@ -437,15 +442,18 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 			}
 		}
 		// Flush emits the wave's events in job order after the serial
-		// commit loop has retagged them; a trace is therefore recorded in
-		// the exact order the serial enumeration would visit candidates,
-		// independent of the worker count.
+		// commit loop has retagged them; a trace (and the span's verdict
+		// tally) is therefore recorded in the exact order the serial
+		// enumeration would visit candidates, independent of the worker
+		// count.
 		flush := func() {
-			if !traceOn {
-				return
-			}
 			for i := range events {
-				rw.Tracer.Candidates(events[i]...)
+				for p := range events[i] {
+					sp.CountVerdict(events[i][p].Verdict)
+				}
+				if traceOn {
+					rw.Tracer.Candidates(events[i]...)
+				}
 			}
 		}
 		var nextFrontier []*Rewriting
@@ -469,7 +477,7 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 				}
 				key := canonicalKey(combined.Query)
 				if seen[key] {
-					if traceOn && si < len(acceptPos) {
+					if collect && si < len(acceptPos) {
 						e := &events[i][acceptPos[si]]
 						e.Verdict = obs.VerdictDedup
 						e.Reason = "rewriting already reached via an earlier search path (canonical key match)"
@@ -480,7 +488,7 @@ func (rw *Rewriter) rewritings(st *searchTask, q *ir.Query) ([]*Rewriting, error
 				results = append(results, combined)
 				nextFrontier = append(nextFrontier, combined)
 				if len(results) >= limit {
-					if traceOn {
+					if collect {
 						annotateUncommitted(events, i, acceptPos, si)
 						flush()
 					}

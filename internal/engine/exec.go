@@ -105,6 +105,18 @@ func (ev *Evaluator) ExecContext(ctx context.Context, q *ir.Query) (*Relation, e
 // materialization, so nested executions inherit the caller's task (one
 // context, one budget pool, one injector per operation).
 func (ev *Evaluator) run(t *task, q *ir.Query) (*Relation, error) {
+	st := t.sp.StartStage("engine.exec")
+	out, err := ev.runLabeled(t, q)
+	if err != nil {
+		st.End(0)
+		return nil, err
+	}
+	st.End(int64(len(out.Tuples)))
+	return out, nil
+}
+
+// runLabeled applies the metrics stopwatch and pprof labels around exec.
+func (ev *Evaluator) runLabeled(t *task, q *ir.Query) (*Relation, error) {
 	if ev.Metrics == nil {
 		return ev.exec(t, q)
 	}
@@ -355,6 +367,10 @@ func (ev *Evaluator) joinBatch(t *task, q *ir.Query) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Serial loop: scan stages land in FROM order at every worker
+		// count (view materialization nests its own engine.exec stage
+		// just before the view's scan stage).
+		t.sp.Stage("scan:"+strings.ToLower(tab.Source), int64(ct.n))
 		if len(ct.cols) != len(tab.Cols) {
 			return nil, fmt.Errorf("engine: %s has %d columns, query expects %d", tab.Source, len(ct.cols), len(tab.Cols))
 		}

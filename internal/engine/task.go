@@ -5,6 +5,7 @@ import (
 
 	"aggview/internal/budget"
 	"aggview/internal/faultinject"
+	"aggview/internal/obs"
 )
 
 // pollBatchRows is the row-batch granularity at which the kernels
@@ -24,12 +25,17 @@ type task struct {
 	ctx   context.Context
 	meter *budget.Meter
 	inj   *faultinject.Injector
+	// sp is the request span drawn from the context (nil: no-op). The
+	// engine records execution stages and per-scan row counts into it
+	// from its serial spine only (run entry, joinBatch's resolve loop),
+	// so stage order is deterministic at every worker count.
+	sp *obs.Span
 }
 
-// newTask resolves the context's meter and injector once, so the hot
-// polls never touch context.Value.
+// newTask resolves the context's meter, injector and span once, so the
+// hot polls never touch context.Value.
 func newTask(ctx context.Context) *task {
-	return &task{ctx: ctx, meter: budget.MeterFrom(ctx), inj: faultinject.From(ctx)}
+	return &task{ctx: ctx, meter: budget.MeterFrom(ctx), inj: faultinject.From(ctx), sp: obs.SpanFrom(ctx)}
 }
 
 // charge records n processed rows at the named kernel site: it feeds

@@ -1,0 +1,92 @@
+package obs
+
+import "sync/atomic"
+
+// FlightRecorder is a bounded ring buffer of the most recently completed
+// span records — the serving layer's black box. Fixed capacity, oldest
+// entries overwritten, no locks on the write path: a writer claims the
+// next sequence number with one atomic add and publishes its record with
+// one atomic pointer store into the slot seq % capacity. Concurrent
+// writers never block each other, and Snapshot readers see each slot's
+// latest fully-published record (never a torn one).
+//
+// A nil *FlightRecorder is a valid disabled recorder: Record returns
+// immediately without allocating, so the request path pays a single nil
+// check when the recorder is off.
+type FlightRecorder struct {
+	slots []atomic.Pointer[SpanRecord]
+	seq   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder holding the last capacity spans;
+// nil (a valid disabled recorder) when capacity <= 0.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[SpanRecord], capacity)}
+}
+
+// Enabled reports whether records are retained.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// Capacity returns the ring size; 0 when disabled.
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Record appends one completed span record, overwriting the oldest
+// entry once the ring is full. The record's Seq field is stamped with
+// its (0-based) append sequence number.
+func (f *FlightRecorder) Record(rec SpanRecord) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1) - 1
+	// Copy into a fresh heap record rather than taking &rec: a
+	// parameter whose address is stored escapes at function entry, which
+	// would make even the nil (disabled) path allocate.
+	p := new(SpanRecord)
+	*p = rec
+	p.Seq = seq
+	f.slots[seq%uint64(len(f.slots))].Store(p)
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder's contents.
+type FlightSnapshot struct {
+	// Capacity is the ring size.
+	Capacity int `json:"capacity"`
+	// Appended counts every Record call since creation.
+	Appended uint64 `json:"appended"`
+	// Dropped counts records overwritten by wraparound
+	// (= Appended - len(Spans) at snapshot time).
+	Dropped uint64 `json:"dropped"`
+	// Spans lists the retained records, oldest first (ascending Seq).
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Snapshot copies the retained records, oldest first. Records published
+// concurrently with the snapshot may or may not be included; each
+// included record is complete. The zero snapshot on a nil recorder.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{}
+	}
+	out := FlightSnapshot{Capacity: len(f.slots)}
+	spans := make([]SpanRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil {
+			spans = append(spans, *p)
+		}
+	}
+	SortSpansBySeq(spans)
+	out.Spans = spans
+	// Loading seq after the slot scan keeps Appended >= maxSeq+1 >=
+	// len(spans), so Dropped never underflows under concurrent writes.
+	out.Appended = f.seq.Load()
+	out.Dropped = out.Appended - uint64(len(spans))
+	return out
+}

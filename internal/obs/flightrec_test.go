@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilFlightRecorder(t *testing.T) {
+	var f *FlightRecorder
+	if f.Enabled() || f.Capacity() != 0 {
+		t.Fatal("nil recorder should be disabled")
+	}
+	f.Record(SpanRecord{SQL: "q"})
+	snap := f.Snapshot()
+	if snap.Capacity != 0 || snap.Appended != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	if NewFlightRecorder(0) != nil || NewFlightRecorder(-1) != nil {
+		t.Fatal("non-positive capacity should yield a nil recorder")
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(SpanRecord{SQL: fmt.Sprintf("q%d", i)})
+	}
+	snap := f.Snapshot()
+	if snap.Capacity != 4 || snap.Appended != 10 || snap.Dropped != 6 {
+		t.Fatalf("stats = %+v", snap)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(snap.Spans))
+	}
+	for i, rec := range snap.Spans {
+		wantSeq := uint64(6 + i)
+		if rec.Seq != wantSeq || rec.SQL != fmt.Sprintf("q%d", wantSeq) {
+			t.Fatalf("span[%d] = {Seq:%d SQL:%q}, want seq %d", i, rec.Seq, rec.SQL, wantSeq)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrentAppend(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 200
+		capacity   = 16
+	)
+	f := NewFlightRecorder(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				f.Record(SpanRecord{Tenant: fmt.Sprintf("g%d", g), SQL: fmt.Sprintf("q%d", i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := f.Snapshot()
+	if snap.Appended != goroutines*perG {
+		t.Fatalf("appended = %d, want %d", snap.Appended, goroutines*perG)
+	}
+	if len(snap.Spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(snap.Spans), capacity)
+	}
+	if snap.Dropped != goroutines*perG-capacity {
+		t.Fatalf("dropped = %d", snap.Dropped)
+	}
+	seen := map[uint64]bool{}
+	for i, rec := range snap.Spans {
+		if i > 0 && snap.Spans[i-1].Seq >= rec.Seq {
+			t.Fatalf("spans not in ascending seq order at %d: %d then %d", i, snap.Spans[i-1].Seq, rec.Seq)
+		}
+		if seen[rec.Seq] {
+			t.Fatalf("duplicate seq %d", rec.Seq)
+		}
+		seen[rec.Seq] = true
+		if rec.Seq >= goroutines*perG {
+			t.Fatalf("impossible seq %d", rec.Seq)
+		}
+	}
+}
+
+func TestFlightRecorderSnapshotDuringWrites(t *testing.T) {
+	f := NewFlightRecorder(8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				f.Record(SpanRecord{SQL: fmt.Sprintf("q%d", i)})
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		snap := f.Snapshot()
+		if uint64(len(snap.Spans)) > snap.Appended {
+			t.Errorf("snapshot saw more spans (%d) than appends (%d)", len(snap.Spans), snap.Appended)
+			break
+		}
+		for j := 1; j < len(snap.Spans); j++ {
+			if snap.Spans[j-1].Seq >= snap.Spans[j].Seq {
+				t.Errorf("unsorted snapshot at %d", j)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// latencyEdgesNs are the fixed latency-bucket upper bounds in
+// nanoseconds: a 1-2.5-5 decade ladder from 1µs to 10s, plus an
+// implicit overflow bucket. The edges are compile-time constants so
+// histogram *shapes* are deterministic across runs and hosts — only the
+// counts (wall-clock dependent, hence volatile) vary.
+var latencyEdgesNs = [...]int64{
+	1_000, 2_500, 5_000, // 1µs ladder
+	10_000, 25_000, 50_000, // 10µs
+	100_000, 250_000, 500_000, // 100µs
+	1_000_000, 2_500_000, 5_000_000, // 1ms
+	10_000_000, 25_000_000, 50_000_000, // 10ms
+	100_000_000, 250_000_000, 500_000_000, // 100ms
+	1_000_000_000, 2_500_000_000, 5_000_000_000, // 1s
+	10_000_000_000, // 10s
+}
+
+// LatencyEdgesNs returns a copy of the fixed bucket upper bounds
+// (shared by every LatencyHist).
+func LatencyEdgesNs() []int64 {
+	return append([]int64{}, latencyEdgesNs[:]...)
+}
+
+// LatencyHist is a fixed-boundary latency histogram: len(latencyEdgesNs)
+// bounded buckets plus one overflow bucket, atomic counts, lock-free
+// observation. A nil *LatencyHist is a valid no-op.
+type LatencyHist struct {
+	counts [len(latencyEdgesNs) + 1]atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one latency in nanoseconds.
+func (h *LatencyHist) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.counts[latencyBucket(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// latencyBucket maps a latency to its bucket index via binary search
+// over the fixed edges (first edge >= ns; overflow bucket otherwise).
+func latencyBucket(ns int64) int {
+	lo, hi := 0, len(latencyEdgesNs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= latencyEdgesNs[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LatencySnapshot is a point-in-time copy of one latency histogram with
+// its quantile summary. Quantiles are reported as the upper edge of the
+// bucket containing the target rank (the last edge for overflow), so a
+// given set of counts always renders the same quantile values.
+type LatencySnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// SumNs is the sum of all observed latencies.
+	SumNs int64 `json:"sum_ns"`
+	// Buckets holds the per-bucket counts, one per fixed edge plus the
+	// trailing overflow bucket.
+	Buckets []int64 `json:"buckets"`
+	// P50Ns, P95Ns and P99Ns are the quantile bucket upper edges.
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// Snapshot copies the histogram's counts and computes the quantile
+// summary; the zero snapshot on a nil histogram.
+func (h *LatencyHist) Snapshot() LatencySnapshot {
+	if h == nil {
+		return LatencySnapshot{}
+	}
+	out := LatencySnapshot{Buckets: make([]int64, len(h.counts))}
+	for i := range h.counts {
+		out.Buckets[i] = h.counts[i].Load()
+		out.Count += out.Buckets[i]
+	}
+	out.SumNs = h.sum.Load()
+	out.P50Ns = out.Quantile(0.50)
+	out.P95Ns = out.Quantile(0.95)
+	out.P99Ns = out.Quantile(0.99)
+	return out
+}
+
+// Quantile returns the upper edge of the bucket containing the q-th
+// quantile observation (0 < q <= 1, nearest-rank: the bucket of the
+// ceil(q*Count)-th smallest observation); 0 when the histogram is
+// empty. The overflow bucket reports the last finite edge, i.e. "at
+// least 10s".
+func (s LatencySnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			if i < len(latencyEdgesNs) {
+				return latencyEdgesNs[i]
+			}
+			return latencyEdgesNs[len(latencyEdgesNs)-1]
+		}
+	}
+	return latencyEdgesNs[len(latencyEdgesNs)-1]
+}

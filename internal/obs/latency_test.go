@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilLatencyHist(t *testing.T) {
+	var h *LatencyHist
+	h.Observe(100)
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50Ns != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestLatencyBucketEdges(t *testing.T) {
+	edges := LatencyEdgesNs()
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1] >= edges[i] {
+			t.Fatalf("edges not strictly increasing at %d: %d >= %d", i, edges[i-1], edges[i])
+		}
+	}
+	// Boundary semantics: a value equal to an edge lands in that edge's
+	// bucket; one past it lands in the next.
+	for i, e := range edges {
+		if got := latencyBucket(e); got != i {
+			t.Fatalf("latencyBucket(%d) = %d, want %d", e, got, i)
+		}
+		if got := latencyBucket(e + 1); got != i+1 {
+			t.Fatalf("latencyBucket(%d) = %d, want %d", e+1, got, i+1)
+		}
+	}
+	if got := latencyBucket(0); got != 0 {
+		t.Fatalf("latencyBucket(0) = %d", got)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	h := &LatencyHist{}
+	// 90 fast (<=1µs), 9 medium (<=1ms), 1 slow (<=1s).
+	for i := 0; i < 90; i++ {
+		h.Observe(500)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(800_000)
+	}
+	h.Observe(900_000_000)
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.SumNs != 90*500+9*800_000+900_000_000 {
+		t.Fatalf("sum = %d", snap.SumNs)
+	}
+	if snap.P50Ns != 1_000 {
+		t.Fatalf("p50 = %d, want 1000", snap.P50Ns)
+	}
+	if snap.P95Ns != 1_000_000 {
+		t.Fatalf("p95 = %d, want 1000000", snap.P95Ns)
+	}
+	// Nearest-rank p99 of 100 observations is the 99th smallest — the
+	// last medium one; the single slow outlier is rank 100.
+	if snap.P99Ns != 1_000_000 {
+		t.Fatalf("p99 = %d, want 1000000", snap.P99Ns)
+	}
+	if q := snap.Quantile(1.0); q != 1_000_000_000 {
+		t.Fatalf("p100 = %d, want 1000000000", q)
+	}
+}
+
+func TestLatencyOverflowBucket(t *testing.T) {
+	h := &LatencyHist{}
+	h.Observe(60_000_000_000) // 60s: beyond the last edge
+	snap := h.Snapshot()
+	if snap.Buckets[len(snap.Buckets)-1] != 1 {
+		t.Fatalf("overflow not counted: %v", snap.Buckets)
+	}
+	if snap.P50Ns != latencyEdgesNs[len(latencyEdgesNs)-1] {
+		t.Fatalf("overflow quantile = %d", snap.P50Ns)
+	}
+}
+
+func TestMetricsLatencyRegistry(t *testing.T) {
+	var nilM *Metrics
+	if nilM.Latency("x") != nil {
+		t.Fatal("nil registry should hand out nil hists")
+	}
+	m := NewMetrics()
+	a := m.Latency("server.latency.a")
+	if b := m.Latency("server.latency.a"); b != a {
+		t.Fatal("registry not idempotent")
+	}
+	a.Observe(2_000)
+	snap := m.Snapshot()
+	ls, ok := snap.Latencies["server.latency.a"]
+	if !ok || ls.Count != 1 {
+		t.Fatalf("snapshot latencies = %+v", snap.Latencies)
+	}
+	// Latency histograms are volatile: Deterministic() must not mention them.
+	if det := snap.Deterministic(); det != (Snapshot{Counters: snap.Counters}).Deterministic() {
+		t.Fatalf("latencies leaked into Deterministic():\n%s", det)
+	}
+}
+
+func TestLatencyConcurrentObserve(t *testing.T) {
+	h := &LatencyHist{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i) * 1_000)
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := h.Snapshot(); snap.Count != 8000 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+}

@@ -113,6 +113,7 @@ type Metrics struct {
 	volatile  map[string]*Counter
 	hists     map[string]*Histogram
 	volaHists map[string]*Histogram
+	lats      map[string]*LatencyHist
 }
 
 // NewMetrics returns an empty registry.
@@ -122,6 +123,7 @@ func NewMetrics() *Metrics {
 		volatile:  map[string]*Counter{},
 		hists:     map[string]*Histogram{},
 		volaHists: map[string]*Histogram{},
+		lats:      map[string]*LatencyHist{},
 	}
 }
 
@@ -195,6 +197,26 @@ func (m *Metrics) VolatileHistogram(name string) *Histogram {
 	return h
 }
 
+// Latency returns the fixed-boundary latency histogram with the given
+// name ("server.latency.<tenant>"), creating it on first use; nil on a
+// nil registry. Latency counts are wall-clock dependent and therefore
+// volatile — excluded from the determinism contract and from
+// Snapshot.Deterministic() — but the bucket edges and quantile
+// reporting are deterministic (see latency.go).
+func (m *Metrics) Latency(name string) *LatencyHist {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.lats[name]
+	if !ok {
+		h = &LatencyHist{}
+		m.lats[name] = h
+	}
+	return h
+}
+
 // Stopwatch accumulates elapsed nanoseconds into a volatile counter.
 // The zero Stopwatch (from a nil registry) is a no-op and never reads
 // the clock.
@@ -236,6 +258,10 @@ type Snapshot struct {
 	// (request latencies, queue waits) as power-of-two bucket counts.
 	// Excluded from Deterministic().
 	VolatileHistograms map[string][]int64 `json:"volatile_histograms,omitempty"`
+	// Latencies holds the fixed-boundary latency histograms with their
+	// p50/p95/p99 summaries. Counts are wall-clock dependent: excluded
+	// from Deterministic().
+	Latencies map[string]LatencySnapshot `json:"latencies,omitempty"`
 }
 
 // Snapshot copies the registry's current values; the zero Snapshot on a
@@ -267,6 +293,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			out.VolatileHistograms = map[string][]int64{}
 		}
 		out.VolatileHistograms[name] = h.snapshot()
+	}
+	for name, h := range m.lats {
+		if out.Latencies == nil {
+			out.Latencies = map[string]LatencySnapshot{}
+		}
+		out.Latencies[name] = h.Snapshot()
 	}
 	return out
 }

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	if s.Enabled() {
+		t.Fatal("nil span reports enabled")
+	}
+	tm := s.StartStage("x")
+	tm.End(3)
+	s.Stage("y", 1)
+	s.Event("z", "d")
+	s.SetCache("hit")
+	s.SetAdmissionWait(time.Second)
+	s.CountVerdict(VerdictAccept)
+	s.SetBudget(1, 2, 3)
+	if rec := s.End("ok", ""); rec.ID != 0 || len(rec.Stages) != 0 {
+		t.Fatalf("nil span End returned non-zero record: %+v", rec)
+	}
+	if rec := s.Snapshot(); rec.ID != 0 {
+		t.Fatalf("nil span Snapshot returned non-zero record: %+v", rec)
+	}
+}
+
+func TestWithSpanRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := SpanFrom(ctx); got != nil {
+		t.Fatalf("SpanFrom(empty ctx) = %v, want nil", got)
+	}
+	if got := WithSpan(ctx, nil); got != ctx {
+		t.Fatal("WithSpan(nil) should return ctx unchanged")
+	}
+	sp := NewSpan("t1", "SELECT 1")
+	got := SpanFrom(WithSpan(ctx, sp))
+	if got != sp {
+		t.Fatalf("SpanFrom(WithSpan(...)) = %p, want %p", got, sp)
+	}
+}
+
+func TestSpanRecordContents(t *testing.T) {
+	sp := NewSpan("acme", "SELECT COUNT(*) FROM t")
+	tm := sp.StartStage("facade.parse")
+	tm.End(0)
+	sp.Stage("scan:t", 42)
+	sp.Event("facade.fallback", "Plan")
+	sp.SetCache("miss")
+	sp.SetAdmissionWait(5 * time.Millisecond)
+	sp.CountVerdict(VerdictAccept)
+	sp.CountVerdict(VerdictReject)
+	sp.CountVerdict(VerdictReject)
+	sp.CountVerdict(VerdictDedup)
+	sp.SetBudget(100, 7, 2048)
+	rec := sp.End("ok", "")
+
+	if rec.ID == 0 {
+		t.Fatal("span ID not assigned")
+	}
+	if rec.Tenant != "acme" || rec.SQL != "SELECT COUNT(*) FROM t" {
+		t.Fatalf("identity fields wrong: %+v", rec)
+	}
+	if rec.DurationNs <= 0 || rec.StartUnixNs == 0 {
+		t.Fatalf("volatile timing fields not stamped: %+v", rec)
+	}
+	if rec.AdmissionWaitNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("admission wait = %d", rec.AdmissionWaitNs)
+	}
+	want := SpanVerdicts{Accepted: 1, Rejected: 2, Deduped: 1}
+	if rec.Verdicts != want {
+		t.Fatalf("verdicts = %+v, want %+v", rec.Verdicts, want)
+	}
+	if rec.Budget != (SpanBudget{Rows: 100, Candidates: 7, MemBytes: 2048}) {
+		t.Fatalf("budget = %+v", rec.Budget)
+	}
+	if len(rec.Stages) != 3 || rec.Stages[0].Name != "facade.parse" ||
+		rec.Stages[1].Name != "scan:t" || rec.Stages[1].Rows != 42 ||
+		rec.Stages[2].Detail != "Plan" {
+		t.Fatalf("stages = %+v", rec.Stages)
+	}
+
+	det := rec.Deterministic()
+	for _, banned := range []string{"duration", "start_unix", "wait", "id=", "seq="} {
+		if strings.Contains(det, banned) {
+			t.Fatalf("Deterministic() leaks volatile field %q:\n%s", banned, det)
+		}
+	}
+	for _, needed := range []string{"tenant=acme", "cache=miss", "verdicts accepted=1 rejected=2 deduped=1", "stage scan:t rows=42"} {
+		if !strings.Contains(det, needed) {
+			t.Fatalf("Deterministic() missing %q:\n%s", needed, det)
+		}
+	}
+}
+
+func TestSpanSnapshotIsDeepCopy(t *testing.T) {
+	sp := NewSpan("", "q")
+	sp.Stage("a", 1)
+	rec := sp.Snapshot()
+	sp.Stage("b", 2)
+	if len(rec.Stages) != 1 {
+		t.Fatalf("snapshot aliased live stages: %+v", rec.Stages)
+	}
+}
+
+func TestSpanConcurrentRecording(t *testing.T) {
+	sp := NewSpan("t", "q")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp.CountVerdict(VerdictReject)
+				sp.Stage("s", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	rec := sp.End("ok", "")
+	if rec.Verdicts.Rejected != 800 || len(rec.Stages) != 800 {
+		t.Fatalf("lost updates: %+v stages=%d", rec.Verdicts, len(rec.Stages))
+	}
+}
+
+// TestDisabledSpanPathAllocationFree pins the "disabled telemetry is
+// free" contract: with no span in the ctx and a nil recorder, the
+// whole per-request hook sequence allocates nothing.
+func TestDisabledSpanPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	var f *FlightRecorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := SpanFrom(ctx)
+		st := sp.StartStage("facade.execute")
+		sp.Stage("scan:t0", 10)
+		sp.CountVerdict(VerdictAccept)
+		sp.SetCache("hit")
+		sp.SetBudget(1, 2, 3)
+		st.End(5)
+		f.Record(SpanRecord{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocated %v per run, want 0", allocs)
+	}
+}

@@ -91,15 +91,22 @@ func (q *QuerySpec) clone() QuerySpec {
 	}
 }
 
-// ViewSpec names a view definition.
+// ViewSpec names a view definition. Cols, when set, are explicit
+// output column names (the CREATE VIEW V(a, b) AS form server scripts
+// emit); empty means the engine derives them from the SELECT items.
 type ViewSpec struct {
 	Name string
+	Cols []string
 	Def  QuerySpec
 }
 
 // SQL renders the CREATE VIEW statement.
 func (v *ViewSpec) SQL() string {
-	return "CREATE VIEW " + v.Name + " AS " + v.Def.SQL()
+	s := "CREATE VIEW " + v.Name
+	if len(v.Cols) > 0 {
+		s += "(" + strings.Join(v.Cols, ", ") + ")"
+	}
+	return s + " AS " + v.Def.SQL()
 }
 
 // Case is one differential-test instance: a schema with contents, view
@@ -158,7 +165,7 @@ func (c *Case) Clone() *Case {
 		out.Tables = append(out.Tables, nt)
 	}
 	for _, v := range c.Views {
-		out.Views = append(out.Views, &ViewSpec{Name: v.Name, Def: v.Def.clone()})
+		out.Views = append(out.Views, &ViewSpec{Name: v.Name, Cols: append([]string{}, v.Cols...), Def: v.Def.clone()})
 	}
 	return out
 }

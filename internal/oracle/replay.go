@@ -43,7 +43,7 @@ func Replay(script string) (*Case, error) {
 			if err != nil {
 				return nil, fmt.Errorf("oracle: replay: view %s: %w", x.Name, err)
 			}
-			c.Views = append(c.Views, &ViewSpec{Name: x.Name, Def: spec})
+			c.Views = append(c.Views, &ViewSpec{Name: x.Name, Cols: x.Columns, Def: spec})
 		case *sqlparser.QueryStatement:
 			if sawQuery {
 				return nil, fmt.Errorf("oracle: replay: more than one SELECT statement")

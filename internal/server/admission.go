@@ -84,6 +84,12 @@ type TenantConfig struct {
 	MaxRows       int64 `json:"max_rows"`
 	MaxCandidates int64 `json:"max_candidates"`
 	MaxMemBytes   int64 `json:"max_mem_bytes"`
+
+	// SlowQueryNs, when > 0, is the tenant's slow-query threshold: a
+	// query whose post-admission service time reaches it has a
+	// replayable repro captured in the server's slow-query log
+	// (Config.SlowLogSize governs retention).
+	SlowQueryNs int64 `json:"slow_query_ns"`
 }
 
 func (c TenantConfig) withDefaults() TenantConfig {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 )
 
 // Doer is the slice of http.Client the wire client needs; satisfied by
@@ -117,6 +119,93 @@ func (c *Client) Script(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("server: http %d: %s", resp.StatusCode, data)
 	}
 	return string(data), nil
+}
+
+// FlightRec fetches the span flight recorder's contents. The body is
+// strict-decoded (unknown fields are an error) so drift between the
+// server's span schema and the client's is loud, not silent.
+func (c *Client) FlightRec(ctx context.Context) (*FlightRecResponse, error) {
+	data, err := c.getRaw(ctx, "/debug/flightrec")
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var resp FlightRecResponse
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("server: flightrec strict decode: %w", err)
+	}
+	return &resp, nil
+}
+
+// SlowLog fetches the slow-query log.
+func (c *Client) SlowLog(ctx context.Context) (*SlowLogResponse, error) {
+	var resp SlowLogResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/debug/slowlog", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the structured metrics snapshot (?format=json).
+func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
+	var resp MetricsResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/metrics?format=json", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MetricsText fetches the sorted text rendering of /metrics; gauges
+// appends the process gauges (goroutines, heap).
+func (c *Client) MetricsText(ctx context.Context, gauges bool) (string, error) {
+	path := "/metrics"
+	if gauges {
+		path += "?gauges=1"
+	}
+	data, err := c.getRaw(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Gauge scrapes one process gauge (e.g. "server.goroutines") from the
+// text metrics — the external leak probe's primitive.
+func (c *Client) Gauge(ctx context.Context, name string) (int64, error) {
+	text, err := c.MetricsText(ctx, true)
+	if err != nil {
+		return 0, err
+	}
+	prefix := "gauge " + name + " "
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strconv.ParseInt(strings.TrimPrefix(line, prefix), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("server: gauge %q not found in /metrics", name)
+}
+
+// getRaw GETs a path and returns the raw body, mapping non-200s to
+// errors.
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doer().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: http %d: %s", resp.StatusCode, data)
+	}
+	return data, nil
 }
 
 // Healthz pings the server.

@@ -73,6 +73,17 @@ func NewPlanCache(capacity int, metrics *obs.Metrics) *PlanCache {
 	if capacity > 0 {
 		c.meter = budget.NewMeter(budget.Limits{MaxCacheEntries: int64(capacity)})
 	}
+	// Pre-register the stat counters: Stats() reads them on every
+	// /metrics scrape, and lazily creating them there would make the
+	// first scrape differ from the second (idle scrapes must be
+	// byte-identical).
+	for _, n := range []string{
+		"server.plancache.hit", "server.plancache.follower",
+		"server.plancache.miss", "server.plancache.evict",
+		"server.plancache.invalidated",
+	} {
+		metrics.Volatile(n).Load()
+	}
 	return c
 }
 

@@ -41,6 +41,15 @@ type Config struct {
 	// fresh registry is created when nil. The registry is also installed
 	// on the system so engine kernel counters flow into the same place.
 	Metrics *obs.Metrics
+	// FlightRecorder bounds the span flight recorder (GET
+	// /debug/flightrec) in entries; 0 means the default (256), negative
+	// disables request spans entirely — the hot path then allocates
+	// nothing for telemetry beyond per-tenant counters.
+	FlightRecorder int
+	// SlowLogSize bounds the slow-query log (GET /debug/slowlog) in
+	// retained entries; 0 means the default (64), negative disables
+	// slow-query capture regardless of tenant thresholds.
+	SlowLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +68,12 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = 256
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 64
+	}
 	return c
 }
 
@@ -75,6 +90,8 @@ type Server struct {
 	metrics *obs.Metrics
 	cache   *PlanCache
 	adm     *Admission
+	flight  *obs.FlightRecorder
+	slow    *SlowLog
 	mux     *http.ServeMux
 
 	// mu serializes mutations against in-flight queries.
@@ -92,6 +109,8 @@ func New(sys *aggview.System, cfg Config) *Server {
 		metrics: cfg.Metrics,
 		cache:   NewPlanCache(cfg.CacheSize, cfg.Metrics),
 		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.MaxConcurrent, cfg.QueueDepth, cfg.MaxWait, cfg.Metrics),
+		flight:  obs.NewFlightRecorder(cfg.FlightRecorder),
+		slow:    NewSlowLog(cfg.SlowLogSize),
 	}
 	if sys.Metrics == nil {
 		sys.Metrics = cfg.Metrics
@@ -104,6 +123,8 @@ func New(sys *aggview.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /script", s.handleScript)
+	s.mux.HandleFunc("GET /debug/flightrec", s.handleFlightRec)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	return s
 }
 
@@ -145,9 +166,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := req.Tenant
 	s.metrics.Volatile("server.requests").Inc()
+	s.metrics.Volatile("server.tenant." + tenantLabel(tenant) + ".requests").Inc()
 
+	// A span is created only when something will consume it (the flight
+	// recorder, or a slow-query threshold for this tenant); with both
+	// disabled the whole pipeline records through nil no-ops and the hot
+	// path allocates nothing for telemetry.
+	var span *obs.Span
+	if s.flight.Enabled() || (s.slow.Enabled() && s.adm.Config(tenant).SlowQueryNs > 0) {
+		span = obs.NewSpan(tenant, req.SQL)
+	}
+
+	admStart := time.Now()
 	cfg, release, err := s.adm.Acquire(r.Context(), tenant)
+	span.SetAdmissionWait(time.Since(admStart))
 	if err != nil {
+		s.finishSpan(span, tenant, nil, err)
 		s.writeTypedError(w, tenant, err)
 		return
 	}
@@ -166,23 +200,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			MaxMemBytes:   cfg.MaxMemBytes,
 		}))
 	}
+	ctx = obs.WithSpan(ctx, span)
+	meter := budget.MeterFrom(ctx)
 
 	s.mu.RLock()
 	res, used, verdict, err := s.execute(ctx, req.SQL)
+	elapsedNs := time.Since(start).Nanoseconds()
+	// The slow-query repro must capture exactly the state the query
+	// read, so the script renders under the same read lock: mutations
+	// take the write lock and cannot interleave.
+	var repro string
+	slow := err == nil && s.slow.Enabled() && cfg.SlowQueryNs > 0 && elapsedNs >= cfg.SlowQueryNs
+	if slow {
+		repro = s.scriptLocked() + req.SQL + ";\n"
+	}
 	s.mu.RUnlock()
+
+	span.SetCache(verdict)
+	span.SetBudget(meter.Rows(), meter.Candidates(), meter.Mem())
 	if err != nil {
+		s.finishSpan(span, tenant, meter, err)
 		s.writeTypedError(w, tenant, err)
 		return
 	}
+	rec := s.finishSpan(span, tenant, meter, nil)
 	attrs, rows := EncodeRelation(res)
+	if slow {
+		s.slow.Add(SlowEntry{
+			Tenant:      tenant,
+			SQL:         req.SQL,
+			ElapsedNs:   elapsedNs,
+			ThresholdNs: cfg.SlowQueryNs,
+			Cache:       verdict,
+			Script:      repro,
+			Attrs:       attrs,
+			Rows:        rows,
+			Span:        rec,
+		})
+		s.metrics.Volatile("server.slowlog.captured").Inc()
+	}
+	s.metrics.Volatile("server.tenant." + tenantLabel(tenant) + ".ok").Inc()
+	s.metrics.Latency("server.latency." + tenantLabel(tenant)).Observe(elapsedNs)
 	s.metrics.VolatileHistogram("server.latency_ns").Observe(time.Since(start).Nanoseconds())
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Attrs:     attrs,
 		Rows:      rows,
 		Used:      used,
 		Cache:     verdict,
-		ElapsedNs: time.Since(start).Nanoseconds(),
+		ElapsedNs: elapsedNs,
 	})
+}
+
+// finishSpan closes the request span with its outcome, records it in
+// the flight recorder, bumps the per-tenant error counter, and returns
+// the completed record (nil when spans are off).
+func (s *Server) finishSpan(span *obs.Span, tenant string, meter *budget.Meter, err error) *obs.SpanRecord {
+	if err != nil {
+		s.metrics.Volatile("server.tenant." + tenantLabel(tenant) + ".errors").Inc()
+	}
+	if span == nil {
+		return nil
+	}
+	var rec obs.SpanRecord
+	if err != nil {
+		rec = span.End(errKind(err), err.Error())
+	} else {
+		rec = span.End("ok", "")
+	}
+	s.flight.Record(rec)
+	return &rec
 }
 
 // execute resolves the query through the plan cache and runs it. Caller
@@ -260,16 +346,23 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleMetrics serves sorted, deterministic text lines by default
+// (byte-identical across scrapes of an idle server); ?gauges=1 appends
+// process gauges (goroutines, heap) for external probes, and
+// ?format=json returns the structured MetricsResponse.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"metrics":    snap,
-		"plan_cache": s.cache.Stats(),
-		"admission": map[string]any{
-			"in_flight": s.adm.InFlight(),
-			"queued":    s.adm.Queued(),
-		},
-	})
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, MetricsResponse{
+			Metrics:   s.metrics.Snapshot(),
+			PlanCache: s.cache.Stats(),
+			Admission: AdmissionStats{InFlight: s.adm.InFlight(), Queued: s.adm.Queued()},
+		})
+		return
+	}
+	var b strings.Builder
+	s.renderMetricsText(&b, r.URL.Query().Get("gauges") == "1")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -281,6 +374,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // can build a local reference system to check served answers against.
 func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
+	script := s.scriptLocked()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/sql")
+	_, _ = io.WriteString(w, script)
+}
+
+// scriptLocked renders the replayable state script; the caller must
+// hold at least the read lock (the slow-query log calls it under the
+// same RLock as the execution it repros).
+func (s *Server) scriptLocked() string {
 	var b strings.Builder
 	for _, t := range s.sys.Catalog.Tables() {
 		b.WriteString("CREATE TABLE " + t.Name + "(" + strings.Join(t.Columns, ", ") + ")")
@@ -309,9 +412,7 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	for _, v := range s.sys.Views.All() {
 		b.WriteString(v.SQL() + ";\n")
 	}
-	s.mu.RUnlock()
-	w.Header().Set("Content-Type", "application/sql")
-	_, _ = io.WriteString(w, b.String())
+	return b.String()
 }
 
 // writeTypedError maps an execution error onto the wire taxonomy.

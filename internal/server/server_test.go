@@ -389,7 +389,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	if _, err := c.Query(context.Background(), "SELECT region FROM Sales"); err != nil {
 		t.Fatal(err)
 	}
-	req, _ := http.NewRequest(http.MethodGet, "http://test/metrics", nil)
+	req, _ := http.NewRequest(http.MethodGet, "http://test/metrics?format=json", nil)
 	resp, err := exec.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -405,5 +405,19 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		if _, ok := body[key]; !ok {
 			t.Errorf("metrics body lacks %q", key)
 		}
+	}
+	// The default rendering is text: sorted lines, no JSON.
+	text, err := c.MetricsText(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "volatile server.requests 1\n") {
+		t.Fatalf("text metrics missing request counter:\n%s", text)
+	}
+	if strings.Contains(text, "gauge ") {
+		t.Fatalf("gauges leaked into plain scrape:\n%s", text)
+	}
+	if _, err := c.Gauge(context.Background(), "server.goroutines"); err != nil {
+		t.Fatalf("goroutine gauge scrape: %v", err)
 	}
 }

@@ -236,10 +236,14 @@ type CreateTable struct {
 func (*CreateTable) stmt() {}
 
 // CreateView names a query whose materialization is available for
-// rewriting: CREATE VIEW V1 AS SELECT ...
+// rewriting: CREATE VIEW V1 AS SELECT ... An optional column list
+// (CREATE VIEW V1(a, b) AS ...) renames the query's output columns —
+// the form ViewDef.SQL emits, so server /script output and slow-query
+// repros parse back verbatim.
 type CreateView struct {
-	Name  string
-	Query *Select
+	Name    string
+	Columns []string // optional explicit output column names
+	Query   *Select
 }
 
 func (*CreateView) stmt() {}

@@ -305,6 +305,17 @@ func (p *parser) parseCreateView() (*CreateView, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cols []string
+	if p.cur().kind == tokLParen {
+		p.i++
+		cols, err = p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
 	if err := p.expectKeyword("AS"); err != nil {
 		return nil, err
 	}
@@ -312,7 +323,7 @@ func (p *parser) parseCreateView() (*CreateView, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CreateView{Name: name, Query: sel}, nil
+	return &CreateView{Name: name, Columns: cols, Query: sel}, nil
 }
 
 func (p *parser) parseSelect() (*Select, error) {

@@ -47,6 +47,16 @@ go test -race -short -run 'Cancel|Budget|FaultInject' ./...
 # (-faults defaults to on). `make soak` runs the long version.
 go run ./cmd/oraclerunner -seeds 1,2 -n 150
 
+# Telemetry gate (DESIGN.md section 13): a seeded in-process workload
+# with a 1ns slow-query threshold; the telemetry pass strict-decodes
+# /debug/flightrec (unknown span fields fail loudly), requires
+# per-tenant latency histograms, and replays slow-query repros offline
+# — loadrunner exits nonzero unless every replayed script reproduces
+# the exact answer bag the server recorded.
+TELEMETRY_JSON="$(mktemp /tmp/aggview-telemetry.XXXXXX.json)"
+trap 'rm -f "$TRACE_JSON" "$TELEMETRY_JSON"' EXIT
+go run ./cmd/loadrunner -seed 7 -sessions 4 -rounds 3 -n 180 -slow 1ns -telemetry "$TELEMETRY_JSON"
+
 # Server smoke gate (DESIGN.md section 12): start aggserve on an
 # ephemeral port, drive 100+ mixed-tenant requests through loadrunner
 # (mutation barriers and storage-fault windows on; every 200 checked
