@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint vet-json check bench bench-json bench-smoke quick soak trace faults serve-smoke load flightrec
+.PHONY: build test race vet lint vet-json check bench bench-json bench-smoke quick soak mutate trace faults serve-smoke load flightrec
 
 build:
 	$(GO) build ./...
@@ -95,3 +95,12 @@ flightrec:
 soak:
 	$(GO) run ./cmd/oraclerunner -seeds 1,2,3,4,5,6,7,8 -n 2000 -v -json ORACLE_SOAK.json
 	$(GO) run ./cmd/oraclerunner -seeds 1,2,3,4 -n 1000 -paper
+
+# mutate soaks the mutation oracle (DESIGN.md section 14): seeded
+# insert/delete/update/query scenarios over tracked views, checked
+# serially, under concurrent snapshot readers, and with cancellations
+# injected at the maintenance site. Violations shrink to minimal
+# mutation scripts replayable with `oraclerunner -mutate -replay` or
+# `aggserve -script`.
+mutate:
+	$(GO) run ./cmd/oraclerunner -mutate -seeds 21,22,23,24 -n 300 -v -json MUTATE_SOAK.json

@@ -250,24 +250,248 @@ func (s *System) InsertContext(ctx context.Context, table string, rows ...[]Valu
 		}
 	}
 	if s.maint != nil {
-		if err := s.maint.InsertContext(ctx, t.Name, rows...); err != nil {
+		if err := s.maintainer().InsertContext(ctx, t.Name, rows...); err != nil {
 			return err
 		}
 	} else {
-		rel.Tuples = append(rel.Tuples, rows...)
-		// The columnar image's row-count check would catch the append on
-		// the next scan; invalidating explicitly also fires the DB's
-		// invalidation hook, which plan caches layered above the system
+		// Copy-on-write append: snapshots pinned by concurrent readers
+		// keep the old tuple slice. Append fires the DB's invalidation
+		// hook, which plan caches layered above the system
 		// (internal/server) rely on to observe every mutation.
-		s.DB.Invalidate(t.Name)
+		s.DB.Append(t.Name, rows...)
 	}
-	s.Stats[strings.ToLower(t.Name)] = float64(rel.Len())
+	s.refreshStats(t.Name)
+	return nil
+}
+
+// refreshStats re-reads cardinalities for a mutated table and every
+// materialized view, keeping the cost model current across mutations.
+func (s *System) refreshStats(table string) {
+	if rel, ok := s.DB.Get(table); ok {
+		s.Stats[strings.ToLower(table)] = float64(rel.Len())
+	}
 	for _, v := range s.Views.All() {
 		if m, ok := s.DB.Get(v.Name); ok {
 			s.Stats[strings.ToLower(v.Name)] = float64(m.Len())
 		}
 	}
-	return nil
+}
+
+// maintainer lazily builds the view maintainer and keeps its
+// instrumentation knobs in sync with the system's.
+func (s *System) maintainer() *maintain.Maintainer {
+	if s.maint == nil {
+		s.maint = maintain.New(s.DB, s.Views)
+	}
+	s.maint.Metrics = s.Metrics
+	s.maint.Workers = s.Opts.Workers
+	return s.maint
+}
+
+// Delete removes the rows of a base table matching an optional WHERE
+// condition (given without the WHERE keyword; "" deletes every row) and
+// reports how many rows were removed. Tracked views absorb the deletion
+// incrementally via counting maintenance. Delete runs unbounded; use
+// DeleteContext to bound the maintenance it triggers.
+func (s *System) Delete(table, where string) (int, error) {
+	//aggvet:ctxflow Background shim by design; DeleteContext is the bounded variant.
+	return s.DeleteContext(context.Background(), table, where)
+}
+
+// DeleteContext is Delete under a context: cancellation and deadline
+// expiry abort the maintenance evaluations with a typed error before
+// any materialization or base table changes.
+func (s *System) DeleteContext(ctx context.Context, table, where string) (int, error) {
+	del, err := parseDelete(table, where)
+	if err != nil {
+		return 0, err
+	}
+	return s.applyDelete(ctx, del)
+}
+
+// Update rewrites the rows of a base table matching an optional WHERE
+// condition. set is the SET clause body, e.g. "Charge = Charge + 1";
+// expressions see the row's old values. It reports how many rows
+// changed. Update runs unbounded; use UpdateContext to bound the
+// maintenance it triggers.
+func (s *System) Update(table, set, where string) (int, error) {
+	//aggvet:ctxflow Background shim by design; UpdateContext is the bounded variant.
+	return s.UpdateContext(context.Background(), table, set, where)
+}
+
+// UpdateContext is Update under a context.
+func (s *System) UpdateContext(ctx context.Context, table, set, where string) (int, error) {
+	upd, err := parseUpdate(table, set, where)
+	if err != nil {
+		return 0, err
+	}
+	return s.applyUpdate(ctx, upd)
+}
+
+// Exec applies a parsed mutation statement (INSERT, DELETE or UPDATE)
+// to the system, reporting the number of rows affected. Script loaders
+// (cmd/aggserve, the oracle replayer) route mutation statements here so
+// a replayed script takes exactly the production mutation path.
+func (s *System) Exec(st sqlparser.Statement) (int, error) {
+	//aggvet:ctxflow Background shim by design; ExecContext is the bounded variant.
+	return s.ExecContext(context.Background(), st)
+}
+
+// ExecContext is Exec under a context.
+func (s *System) ExecContext(ctx context.Context, st sqlparser.Statement) (int, error) {
+	switch x := st.(type) {
+	case *sqlparser.Insert:
+		if err := s.InsertContext(ctx, x.Table, x.Rows...); err != nil {
+			return 0, err
+		}
+		return len(x.Rows), nil
+	case *sqlparser.Delete:
+		return s.applyDelete(ctx, x)
+	case *sqlparser.Update:
+		return s.applyUpdate(ctx, x)
+	default:
+		return 0, fmt.Errorf("aggview: Exec supports INSERT, DELETE and UPDATE, not %T", st)
+	}
+}
+
+// parseDelete assembles and parses a DELETE statement from its parts.
+func parseDelete(table, where string) (*sqlparser.Delete, error) {
+	text := "DELETE FROM " + table
+	if where != "" {
+		text += " WHERE " + where
+	}
+	stmts, err := sqlparser.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	del, ok := stmts[0].(*sqlparser.Delete)
+	if !ok || len(stmts) != 1 {
+		return nil, fmt.Errorf("aggview: malformed DELETE for table %q", table)
+	}
+	return del, nil
+}
+
+// parseUpdate assembles and parses an UPDATE statement from its parts.
+func parseUpdate(table, set, where string) (*sqlparser.Update, error) {
+	text := "UPDATE " + table + " SET " + set
+	if where != "" {
+		text += " WHERE " + where
+	}
+	stmts, err := sqlparser.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	upd, ok := stmts[0].(*sqlparser.Update)
+	if !ok || len(stmts) != 1 {
+		return nil, fmt.Errorf("aggview: malformed UPDATE for table %q", table)
+	}
+	return upd, nil
+}
+
+// applyDelete partitions the table's rows by the parsed condition and
+// routes the matching rows out as a deletion — through the maintainer
+// when views are tracked (so materializations absorb the delta), as a
+// copy-on-write relation swap otherwise.
+func (s *System) applyDelete(ctx context.Context, del *sqlparser.Delete) (int, error) {
+	t, ok := s.Catalog.Table(del.Table)
+	if !ok {
+		return 0, fmt.Errorf("aggview: unknown table %q", del.Table)
+	}
+	rel, ok := s.DB.Get(t.Name)
+	if !ok || rel.Len() == 0 {
+		return 0, nil
+	}
+	var deletes, kept [][]Value
+	for _, row := range rel.Tuples {
+		match, err := sqlparser.EvalCond(del.Where, rel.Attrs, row)
+		if err != nil {
+			return 0, err
+		}
+		if match {
+			deletes = append(deletes, row)
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	if len(deletes) == 0 {
+		return 0, nil
+	}
+	if s.maint != nil {
+		if err := s.maintainer().ApplyContext(ctx, maintain.Mutation{Table: t.Name, Deletes: deletes}); err != nil {
+			return 0, err
+		}
+	} else {
+		next := engine.NewRelation(rel.Attrs...)
+		next.Tuples = kept
+		s.DB.Put(t.Name, next)
+	}
+	s.refreshStats(t.Name)
+	return len(deletes), nil
+}
+
+// applyUpdate computes each matching row's replacement from the SET
+// assignments (evaluated over the old values) and routes the change as
+// a paired delete+insert, which counting maintenance applies
+// atomically.
+func (s *System) applyUpdate(ctx context.Context, upd *sqlparser.Update) (int, error) {
+	t, ok := s.Catalog.Table(upd.Table)
+	if !ok {
+		return 0, fmt.Errorf("aggview: unknown table %q", upd.Table)
+	}
+	rel, ok := s.DB.Get(t.Name)
+	if !ok || rel.Len() == 0 {
+		return 0, nil
+	}
+	setAt := make([]int, len(upd.Set))
+	for i, a := range upd.Set {
+		setAt[i] = -1
+		for j, c := range rel.Attrs {
+			if strings.EqualFold(c, a.Col) {
+				setAt[i] = j
+				break
+			}
+		}
+		if setAt[i] < 0 {
+			return 0, fmt.Errorf("aggview: unknown column %q in UPDATE %s", a.Col, t.Name)
+		}
+	}
+	var olds, news [][]Value
+	next := make([][]Value, 0, len(rel.Tuples))
+	for _, row := range rel.Tuples {
+		match, err := sqlparser.EvalCond(upd.Where, rel.Attrs, row)
+		if err != nil {
+			return 0, err
+		}
+		if !match {
+			next = append(next, row)
+			continue
+		}
+		repl := append([]Value{}, row...)
+		for i, a := range upd.Set {
+			v, err := sqlparser.EvalExpr(a.Expr, rel.Attrs, row)
+			if err != nil {
+				return 0, err
+			}
+			repl[setAt[i]] = v
+		}
+		olds = append(olds, row)
+		news = append(news, repl)
+		next = append(next, repl)
+	}
+	if len(olds) == 0 {
+		return 0, nil
+	}
+	if s.maint != nil {
+		if err := s.maintainer().ApplyContext(ctx, maintain.Mutation{Table: t.Name, Deletes: olds, Inserts: news}); err != nil {
+			return 0, err
+		}
+	} else {
+		repl := engine.NewRelation(rel.Attrs...)
+		repl.Tuples = next
+		s.DB.Put(t.Name, repl)
+	}
+	s.refreshStats(t.Name)
+	return len(olds), nil
 }
 
 // TrackView materializes a view and keeps it consistent under future
@@ -283,9 +507,7 @@ func (s *System) TrackView(name string) (incremental bool, err error) {
 // deadline expiry abort the initial materialization with a typed
 // error.
 func (s *System) TrackViewContext(ctx context.Context, name string) (incremental bool, err error) {
-	if s.maint == nil {
-		s.maint = maintain.New(s.DB, s.Views)
-	}
+	m := s.maintainer()
 	// Materializing the view needs its base relations to exist, even when
 	// no rows have been inserted yet.
 	if v, ok := s.Views.Get(name); ok {
@@ -298,7 +520,7 @@ func (s *System) TrackViewContext(ctx context.Context, name string) (incremental
 			}
 		}
 	}
-	inc, err := s.maint.TrackContext(ctx, name)
+	inc, err := m.TrackContext(ctx, name)
 	if err != nil {
 		return false, err
 	}
@@ -319,6 +541,16 @@ func (s *System) SetRelation(table string, rel *Result) error {
 	}
 	s.DB.Put(t.Name, rel)
 	s.Stats[strings.ToLower(t.Name)] = float64(rel.Len())
+	if s.maint != nil {
+		// The maintainer's counting state was derived from the old
+		// extension; rebuild it (and the dependent materializations)
+		// from the replacement.
+		//aggvet:ctxflow SetRelation is a bulk-load path; resync inherits no caller deadline by design.
+		if err := s.maintainer().Resync(context.Background(), t.Name); err != nil {
+			return err
+		}
+		s.refreshStats(t.Name)
+	}
 	return nil
 }
 
@@ -665,7 +897,11 @@ func (s *System) PrepareContext(ctx context.Context, sql string) (*Prepared, err
 
 // planDeps walks the plan's FROM sources transitively through the view
 // definitions its registry snapshot resolves, collecting every stored
-// relation name execution may touch.
+// relation name execution may touch. The walk stops at views the
+// maintainer keeps consistent: their materializations absorb base-table
+// deltas inside the same atomic batch, so a plan that only scans such a
+// view stays answer-correct across mutations of the view's sources and
+// must not be evicted for them.
 func (s *System) planDeps(p *Prepared) []string {
 	seen := map[string]bool{}
 	var out []string
@@ -678,6 +914,9 @@ func (s *System) planDeps(p *Prepared) []string {
 			}
 			seen[n] = true
 			out = append(out, n)
+			if s.maint != nil && s.maint.Tracks(t.Source) {
+				continue
+			}
 			if v, ok := p.reg.Get(t.Source); ok {
 				visit(v.Def)
 			}
@@ -722,6 +961,62 @@ func (s *System) ExecPreparedContext(ctx context.Context, p *Prepared) (*Result,
 	}
 	st.End(int64(len(res.Tuples)))
 	return res, nil
+}
+
+// ExecPreparedOn is ExecPreparedOnContext with a background context.
+func (s *System) ExecPreparedOn(p *Prepared, store engine.Storage) (*Result, error) {
+	//aggvet:ctxflow Background shim by design; ExecPreparedOnContext is the bounded variant.
+	return s.ExecPreparedOnContext(context.Background(), p, store)
+}
+
+// ExecPreparedOnContext executes a prepared plan with base-table scans
+// bound to an explicit storage backend — typically an engine.Snapshot —
+// instead of the live database. A server can pin a snapshot under a
+// brief lock and then run the plan lock-free: concurrent mutation
+// batches install new relation versions without disturbing the pinned
+// ones, so the plan reads one consistent materialization state
+// end to end.
+func (s *System) ExecPreparedOnContext(ctx context.Context, p *Prepared, store engine.Storage) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	st := obs.SpanFrom(ctx).StartStage("facade.execute")
+	ev := engine.NewEvaluator(s.DB, p.reg)
+	ev.Store = store
+	ev.Workers = s.Opts.Workers
+	ev.Metrics = s.Metrics
+	q := p.direct
+	if p.rw != nil {
+		q = p.rw.Query
+	}
+	res, err := ev.ExecContext(ctx, q)
+	if err != nil {
+		st.End(0)
+		return nil, err
+	}
+	st.End(int64(len(res.Tuples)))
+	return res, nil
+}
+
+// QueryOnContext parses and executes a SELECT directly (no rewriting)
+// with base-table scans bound to an explicit storage backend, pairing
+// with ExecPreparedOnContext so a checker can run the rewritten and the
+// direct form of one query against the same pinned snapshot.
+func (s *System) QueryOnContext(ctx context.Context, store engine.Storage, sql string) (*Result, error) {
+	ctx, cancel := s.opCtx(ctx)
+	defer cancel()
+	q, anon, err := s.parseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := s.mergedViews(anon)
+	if err != nil {
+		return nil, err
+	}
+	ev := engine.NewEvaluator(s.DB, reg)
+	ev.Store = store
+	ev.Workers = s.Opts.Workers
+	ev.Metrics = s.Metrics
+	return ev.ExecContext(ctx, q)
 }
 
 // QueryBest executes the query through its cheapest plan. The second

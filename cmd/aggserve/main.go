@@ -184,6 +184,12 @@ func loadSystem(path string, paper bool, workers int) (*aggview.System, error) {
 			if err := sys.Insert(x.Table, x.Rows...); err != nil {
 				return nil, err
 			}
+		case *sqlparser.Delete, *sqlparser.Update:
+			// Mutation-soak repro scripts carry DELETE/UPDATE steps; apply
+			// them in order so the served state matches the repro's.
+			if _, err := sys.Exec(st); err != nil {
+				return nil, err
+			}
 		case *sqlparser.QueryStatement:
 			// Ignored: oracle repro scripts end in a SELECT; queries are
 			// served through POST /query.

@@ -18,6 +18,18 @@
 //	go run ./cmd/oraclerunner -json ORACLE.json        # machine-readable failure report
 //	go run ./cmd/oraclerunner -replay repro.sql        # re-check one failure script
 //
+// With -mutate the runner soaks the mutation oracle instead: seeded
+// scenarios of inserts, deletes, updates and queries over tracked
+// views, checked serially (views re-derived after every mutation),
+// concurrently (snapshot readers must never observe a torn batch) and
+// under injected cancellations at the maintenance site (exact bag or
+// clean typed error, pre-state intact, clean retry succeeds).
+// Violations shrink to minimal mutation scripts replayable with
+// `-mutate -replay repro.sql` or `aggserve -script repro.sql`.
+//
+//	go run ./cmd/oraclerunner -mutate -seeds 21,22 -n 160
+//	go run ./cmd/oraclerunner -mutate -replay repro.sql
+//
 // Exit status is nonzero when any violation was found.
 package main
 
@@ -54,6 +66,7 @@ func main() {
 	wire := flag.Bool("wire", false, "also answer each case through the in-process HTTP serving stack (plan cache on) and check bag equality")
 	jsonOut := flag.String("json", "", "write a failure report to this file")
 	replay := flag.String("replay", "", "re-check a single repro script instead of soaking")
+	mutate := flag.Bool("mutate", false, "soak the mutation oracle (insert/delete/update scenarios over tracked views) instead of the query oracle")
 	verbose := flag.Bool("v", false, "log per-seed progress")
 	flag.Parse()
 
@@ -64,7 +77,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *seedsFlag, *n, *rows, *duration, *paper, *faults, *wire, *jsonOut, *replay, *verbose); err != nil {
+	var err error
+	if *mutate {
+		err = runMutate(ctx, *seedsFlag, *n, *rows, *duration, *faults, *jsonOut, *replay, *verbose)
+	} else {
+		err = run(ctx, *seedsFlag, *n, *rows, *duration, *paper, *faults, *wire, *jsonOut, *replay, *verbose)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oraclerunner:", err)
 		os.Exit(1)
 	}
@@ -202,6 +221,124 @@ func finish(rep *benchjson.OracleReport, jsonOut string) error {
 	if len(rep.Failures) > 0 {
 		return fmt.Errorf("%d equivalence violations", len(rep.Failures))
 	}
+	return nil
+}
+
+// runMutate soaks the mutation oracle: one scenario per trial, checked
+// serially, concurrently and under maintenance-site cancellations.
+func runMutate(ctx context.Context, seedsFlag string, n, rows int, duration time.Duration, faults bool, jsonOut, replay string, verbose bool) error {
+	if replay != "" {
+		return runMutateReplay(replay, faults)
+	}
+	seeds, err := parseSeeds(seedsFlag)
+	if err != nil {
+		return err
+	}
+	rep := benchjson.NewMutate()
+	rep.Seeds = seeds
+	gen := oracle.GenOptions{MaxRows: rows}
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	for round := 0; ; round++ {
+		for _, seed := range seeds {
+			rng := rand.New(rand.NewSource(seed + int64(round)*1_000_003))
+			for trial := 0; trial < n; trial++ {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return finishMutate(rep, jsonOut)
+				}
+				mc := oracle.GenerateMutation(rng, gen)
+				opt := oracle.MutOptions{}
+				if faults {
+					// Two countdowns per trial: an early one hitting the first
+					// delta evaluations of a batch and a later one reaching
+					// recomputes and deep batches.
+					opt.Faults = []int64{1 + rng.Int63n(6), 1 + rng.Int63n(24)}
+				}
+				out, err := oracle.CheckMutationContext(ctx, mc, opt)
+				if err != nil {
+					if budget.IsCanceled(err) {
+						fmt.Fprintln(os.Stderr, "oraclerunner: mutation soak interrupted:", err)
+						return finishMutate(rep, jsonOut)
+					}
+					return fmt.Errorf("seed %d trial %d: scenario rejected: %w\nscript:\n%s", seed, trial, err, mc.Script())
+				}
+				rep.Trials++
+				rep.Steps += out.Steps
+				rep.FaultRuns += out.FaultRuns
+				rep.Incremental += out.Incremental
+				if out.OK() {
+					continue
+				}
+				min := oracle.ShrinkMutationContext(ctx, mc, opt)
+				v := out.Violations[0]
+				script := min.Script()
+				rep.Failures = append(rep.Failures, benchjson.MutateFailure{
+					Seed:   seed,
+					Trial:  trial,
+					Fault:  v.Fault,
+					Detail: v.String(),
+					Script: script,
+					Lint:   irlint.LintScript("shrunk.sql", script).Diags,
+				})
+				fmt.Fprintf(os.Stderr, "MUTATION VIOLATION seed=%d trial=%d\n%s\nminimal repro script:\n%s\n",
+					seed, trial, v.String(), script)
+			}
+			if verbose {
+				fmt.Fprintf(os.Stderr, "seed %d round %d: %d trials, %d steps, %d incremental, %d failures so far\n",
+					seed, round, rep.Trials, rep.Steps, rep.Incremental, len(rep.Failures))
+			}
+		}
+		if deadline.IsZero() {
+			return finishMutate(rep, jsonOut)
+		}
+	}
+}
+
+// finishMutate writes the mutation report and converts failures into a
+// nonzero exit.
+func finishMutate(rep *benchjson.MutateReport, jsonOut string) error {
+	if jsonOut != "" {
+		if err := rep.WriteFile(jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote mutation report to %s\n", jsonOut)
+	}
+	fmt.Printf("mutate: %d trials, %d steps, %d fault-injected runs, %d incremental views, %d violations\n",
+		rep.Trials, rep.Steps, rep.FaultRuns, rep.Incremental, len(rep.Failures))
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("%d mutation violations", len(rep.Failures))
+	}
+	return nil
+}
+
+// runMutateReplay re-checks one mutation repro script.
+func runMutateReplay(path string, faults bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	mc, err := oracle.ReplayMutation(string(data))
+	if err != nil {
+		return err
+	}
+	opt := oracle.MutOptions{}
+	if faults {
+		opt.Faults = []int64{1, 3}
+	}
+	out, err := oracle.CheckMutation(mc, opt)
+	if err != nil {
+		return err
+	}
+	if !out.OK() {
+		for _, v := range out.Violations {
+			fmt.Fprintln(os.Stderr, v.String())
+		}
+		return fmt.Errorf("%d violations reproduced", len(out.Violations))
+	}
+	fmt.Printf("mutation script passed: %d steps, %d fault-injected runs, %d incremental views\n",
+		out.Steps, out.FaultRuns, out.Incremental)
 	return nil
 }
 

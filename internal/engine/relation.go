@@ -117,11 +117,21 @@ func (r *Relation) Sorted() *Relation {
 // views), looked up case-insensitively. It implements Storage (see
 // storage.go): scans serve a lazily built, cached columnar image of
 // each relation.
+//
+// All relation access is synchronized on db.mu, so mutations (Put,
+// Append, Refresh, Apply) may run concurrently with queries. Readers
+// that need a stable multi-relation view across an entire query take a
+// Snapshot (see storage.go) rather than holding the lock. The
+// concurrency contract this relies on: installed tuple slices are never
+// mutated in place — every mutation path replaces the Tuples slice (or
+// the whole Relation), so a slice header captured by a snapshot stays
+// valid forever.
 type DB struct {
+	mu   sync.Mutex
 	rels map[string]*Relation
-
-	mu   sync.Mutex           // guards cols; rels follows the old rule: no Put during queries
 	cols map[string]*ColTable // cached columnar images, by lowercased name
+	vers map[string]uint64    // per-relation version counters
+	gen  uint64               // global version: bumped on every install
 
 	// onInvalidate, when set, observes every Invalidate (see
 	// SetOnInvalidate in storage.go). Guarded by mu; invoked outside it.
@@ -133,15 +143,136 @@ func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
 
 func lowerKey(name string) string { return strings.ToLower(name) }
 
+// installLocked replaces a relation under db.mu: new version, dropped
+// columnar image. Callers fire the invalidation hook (if any) after
+// releasing the lock.
+func (db *DB) installLocked(key string, r *Relation) {
+	db.rels[key] = r
+	delete(db.cols, key)
+	if db.vers == nil {
+		db.vers = map[string]uint64{}
+	}
+	db.vers[key]++
+	db.gen++
+}
+
 // Put stores a relation under a name, replacing any previous one and
-// dropping its cached columnar image.
+// dropping its cached columnar image. The invalidation hook fires: a
+// wholesale replacement can make any dependent plan or materialization
+// stale.
 func (db *DB) Put(name string, r *Relation) {
-	db.rels[lowerKey(name)] = r
-	db.Invalidate(name)
+	key := lowerKey(name)
+	db.mu.Lock()
+	db.installLocked(key, r)
+	fn := db.onInvalidate
+	db.mu.Unlock()
+	if fn != nil {
+		fn(key)
+	}
+}
+
+// Append adds tuples to an existing relation by installing a fresh
+// Tuples slice (copy-on-write, so pinned snapshots are unaffected) and
+// fires the invalidation hook. It reports whether the relation exists.
+func (db *DB) Append(name string, rows ...[]value.Value) bool {
+	key := lowerKey(name)
+	db.mu.Lock()
+	r, ok := db.rels[key]
+	if !ok {
+		db.mu.Unlock()
+		return false
+	}
+	nt := make([][]value.Value, 0, len(r.Tuples)+len(rows))
+	nt = append(nt, r.Tuples...)
+	nt = append(nt, rows...)
+	db.installLocked(key, &Relation{Attrs: r.Attrs, Tuples: nt})
+	fn := db.onInvalidate
+	db.mu.Unlock()
+	if fn != nil {
+		fn(key)
+	}
+	return true
+}
+
+// Refresh silently replaces a relation: new version, dropped image, but
+// no invalidation hook. It is the install path for maintained
+// materializations that absorbed a delta — the content changed but
+// every prepared plan over the view is still valid, so evicting warm
+// plans would be pure waste (plans re-read storage on every execution).
+func (db *DB) Refresh(name string, r *Relation) {
+	db.mu.Lock()
+	db.installLocked(lowerKey(name), r)
+	db.mu.Unlock()
+}
+
+// Commit is one relation install inside an atomic Apply batch. Silent
+// commits (maintained views that absorbed a delta) skip the
+// invalidation hook; loud ones (base tables) fire it.
+type Commit struct {
+	Name   string
+	Rel    *Relation
+	Silent bool
+}
+
+// Apply installs a batch of relation replacements atomically with
+// respect to Snapshot: a snapshot taken by a concurrent reader sees
+// either none or all of the batch, never a half-applied mix.
+// Invalidation hooks for loud commits fire after the lock is released,
+// in batch order.
+func (db *DB) Apply(batch []Commit) {
+	db.mu.Lock()
+	var loud []string
+	for _, c := range batch {
+		key := lowerKey(c.Name)
+		db.installLocked(key, c.Rel)
+		if !c.Silent {
+			loud = append(loud, key)
+		}
+	}
+	fn := db.onInvalidate
+	db.mu.Unlock()
+	if fn != nil {
+		for _, key := range loud {
+			fn(key)
+		}
+	}
 }
 
 // Get looks up a relation by name.
 func (db *DB) Get(name string) (*Relation, bool) {
+	db.mu.Lock()
 	r, ok := db.rels[lowerKey(name)]
+	db.mu.Unlock()
 	return r, ok
+}
+
+// Version returns the relation's version counter (0 if absent). Every
+// Put/Append/Refresh/Apply install bumps it; snapshots record the
+// versions they pinned.
+func (db *DB) Version(name string) uint64 {
+	db.mu.Lock()
+	v := db.vers[lowerKey(name)]
+	db.mu.Unlock()
+	return v
+}
+
+// Generation returns the global install counter: it advances on every
+// relation install of any name.
+func (db *DB) Generation() uint64 {
+	db.mu.Lock()
+	g := db.gen
+	db.mu.Unlock()
+	return g
+}
+
+// Names returns the sorted names (lowercased) of all stored relations.
+func (db *DB) Names() []string {
+	db.mu.Lock()
+	names := make([]string, 0, len(db.rels))
+	for k := range db.rels {
+		names = append(names, k)
+	}
+	db.mu.Unlock()
+	sort.Strings(names)
+	return names
 }

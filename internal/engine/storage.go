@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"aggview/internal/faultinject"
+	"aggview/internal/value"
 )
 
 // ColTable is the columnar image of one stored relation: one typed
@@ -49,19 +52,19 @@ type Storage interface {
 
 // Scan implements Storage over the database's relations, building each
 // columnar image lazily on first scan and caching it until the relation
-// is replaced (Put) or explicitly invalidated. A cached image is reused
-// only while the relation's row count is unchanged; callers that mutate
-// tuples in place without changing the count (incremental view
-// maintenance, or embedders writing Relation.Tuples directly) must call
-// Invalidate or re-Put the relation.
+// is replaced (Put/Append/Refresh/Apply) or explicitly invalidated. A
+// cached image is reused only while the relation's row count is
+// unchanged; embedders that mutate tuples in place without changing the
+// count must call Invalidate or re-Put the relation (the maintainer
+// never does — it installs fresh relations).
 func (db *DB) Scan(name string) (*ColTable, bool, error) {
-	r, ok := db.Get(name)
-	if !ok {
-		return nil, false, nil
-	}
 	key := lowerKey(name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	r, ok := db.rels[key]
+	if !ok {
+		return nil, false, nil
+	}
 	if ct, ok := db.cols[key]; ok && ct.n == len(r.Tuples) {
 		return ct, true, nil
 	}
@@ -71,6 +74,103 @@ func (db *DB) Scan(name string) (*ColTable, bool, error) {
 	}
 	db.cols[key] = ct
 	return ct, true, nil
+}
+
+// Snapshot is an immutable, point-in-time view of every relation in a
+// DB, pinned under one critical section so it is atomic with respect to
+// Apply batches. It implements Storage: a query executed against a
+// snapshot reads one consistent version of the database no matter how
+// many mutations or maintained-view refreshes commit concurrently —
+// the MVCC read side of incremental view maintenance (DESIGN.md
+// section 14).
+//
+// Pinning is cheap: the snapshot captures slice headers (and any
+// already-fresh columnar images), not copies. This is sound because
+// every DB mutation path is copy-on-write — installed Tuples slices are
+// never written in place, and appends install a fresh slice.
+type Snapshot struct {
+	mu   sync.Mutex
+	rels map[string]*snapRel
+	vers map[string]uint64
+	gen  uint64
+}
+
+type snapRel struct {
+	attrs  []string
+	tuples [][]value.Value
+	ct     *ColTable // lazily built; seeded from the DB cache when fresh
+}
+
+// Snapshot pins the current version of every relation.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{
+		rels: make(map[string]*snapRel, len(db.rels)),
+		vers: make(map[string]uint64, len(db.rels)),
+		gen:  db.gen,
+	}
+	for key, r := range db.rels {
+		sr := &snapRel{attrs: r.Attrs, tuples: r.Tuples[:len(r.Tuples):len(r.Tuples)]}
+		if ct, ok := db.cols[key]; ok && ct.n == len(r.Tuples) {
+			sr.ct = ct
+		}
+		s.rels[key] = sr
+		s.vers[key] = db.vers[key]
+	}
+	return s
+}
+
+// Scan implements Storage against the pinned versions. Columnar images
+// are built lazily per snapshot and shared with the DB cache when the
+// DB's image was already fresh at pin time.
+func (s *Snapshot) Scan(name string) (*ColTable, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.rels[lowerKey(name)]
+	if !ok {
+		return nil, false, nil
+	}
+	if sr.ct == nil {
+		sr.ct = BuildColTable(&Relation{Attrs: sr.attrs, Tuples: sr.tuples})
+	}
+	return sr.ct, true, nil
+}
+
+// Relation returns the pinned rows of a relation as a fresh Relation
+// header (the tuple data is shared and must not be mutated).
+func (s *Snapshot) Relation(name string) (*Relation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.rels[lowerKey(name)]
+	if !ok {
+		return nil, false
+	}
+	return &Relation{Attrs: sr.attrs, Tuples: sr.tuples}, true
+}
+
+// Version returns the pinned version counter of a relation (0 if the
+// relation was absent at pin time).
+func (s *Snapshot) Version(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vers[lowerKey(name)]
+}
+
+// Generation returns the DB's global install counter at pin time.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Names returns the sorted (lowercased) relation names pinned by the
+// snapshot.
+func (s *Snapshot) Names() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.rels))
+	for k := range s.rels {
+		names = append(names, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // Invalidate drops the cached columnar image of a relation whose tuples

@@ -46,10 +46,15 @@ const (
 	// error-injecting Storage backend (engine.FaultStorage), which
 	// returns typed *Injected errors instead of canceling the context.
 	SiteStorage Site = "storage"
+	// SiteMaintain is observed by incremental view maintenance, once
+	// per delta evaluation or staged application inside a mutation
+	// batch. Firing here cancels mid-batch; the maintenance contract is
+	// that the batch then applies either fully or not at all.
+	SiteMaintain Site = "maintain"
 )
 
 // Sites lists every supported cancellation-injection site.
-var Sites = []Site{SiteRow, SiteCandidate, SiteCache, SiteStorage}
+var Sites = []Site{SiteRow, SiteCandidate, SiteCache, SiteStorage, SiteMaintain}
 
 // Spec is a serializable injection plan: cancel at the k-th observation
 // of the site (1-based; weighted sites such as rows count units, not

@@ -2,14 +2,21 @@ package oracle
 
 import (
 	"fmt"
+	"strings"
 
 	"aggview/internal/sqlparser"
+	"aggview/internal/value"
 )
 
 // Replay parses a script in the format Script emits — CREATE TABLE,
-// INSERT, CREATE VIEW and one final SELECT — back into a Case, so a
+// INSERT, CREATE VIEW and a final SELECT — back into a Case, so a
 // failure printed by the test log (or stored in a soak report) can be
-// re-checked verbatim.
+// re-checked verbatim. Mutation-soak scripts also pass through here:
+// DELETE and UPDATE statements are collapsed into the declared table
+// contents (so the Case captures the final instance), and when a
+// script carries several SELECTs the last one becomes the Case query —
+// the state every earlier statement built up is exactly the state that
+// last query ran against.
 func Replay(script string) (*Case, error) {
 	stmts, err := sqlparser.ParseScript(script)
 	if err != nil {
@@ -44,10 +51,23 @@ func Replay(script string) (*Case, error) {
 				return nil, fmt.Errorf("oracle: replay: view %s: %w", x.Name, err)
 			}
 			c.Views = append(c.Views, &ViewSpec{Name: x.Name, Cols: x.Columns, Def: spec})
-		case *sqlparser.QueryStatement:
-			if sawQuery {
-				return nil, fmt.Errorf("oracle: replay: more than one SELECT statement")
+		case *sqlparser.Delete:
+			t, ok := byName[x.Table]
+			if !ok {
+				return nil, fmt.Errorf("oracle: replay: DELETE from undeclared table %s", x.Table)
 			}
+			if err := collapseDelete(t, x.Where); err != nil {
+				return nil, err
+			}
+		case *sqlparser.Update:
+			t, ok := byName[x.Table]
+			if !ok {
+				return nil, fmt.Errorf("oracle: replay: UPDATE of undeclared table %s", x.Table)
+			}
+			if err := collapseUpdate(t, x); err != nil {
+				return nil, err
+			}
+		case *sqlparser.QueryStatement:
 			spec, err := specFromSelect(x.Query)
 			if err != nil {
 				return nil, fmt.Errorf("oracle: replay: query: %w", err)
@@ -62,6 +82,59 @@ func Replay(script string) (*Case, error) {
 		return nil, fmt.Errorf("oracle: replay: script has no SELECT statement")
 	}
 	return c, nil
+}
+
+// collapseDelete folds a DELETE into the table's declared rows.
+func collapseDelete(t *TableSpec, where sqlparser.Expr) error {
+	kept := t.Rows[:0:0]
+	for _, row := range t.Rows {
+		hit, err := sqlparser.EvalCond(where, t.Cols, row)
+		if err != nil {
+			return fmt.Errorf("oracle: replay: DELETE FROM %s: %w", t.Name, err)
+		}
+		if !hit {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	return nil
+}
+
+// collapseUpdate folds an UPDATE into the table's declared rows;
+// assignment expressions see the old row values.
+func collapseUpdate(t *TableSpec, x *sqlparser.Update) error {
+	setAt := make([]int, len(x.Set))
+	for i, a := range x.Set {
+		setAt[i] = -1
+		for j, c := range t.Cols {
+			if strings.EqualFold(c, a.Col) {
+				setAt[i] = j
+				break
+			}
+		}
+		if setAt[i] < 0 {
+			return fmt.Errorf("oracle: replay: UPDATE %s: unknown column %q", t.Name, a.Col)
+		}
+	}
+	for ri, row := range t.Rows {
+		hit, err := sqlparser.EvalCond(x.Where, t.Cols, row)
+		if err != nil {
+			return fmt.Errorf("oracle: replay: UPDATE %s: %w", t.Name, err)
+		}
+		if !hit {
+			continue
+		}
+		next := append([]value.Value{}, row...)
+		for i, a := range x.Set {
+			v, err := sqlparser.EvalExpr(a.Expr, t.Cols, row)
+			if err != nil {
+				return fmt.Errorf("oracle: replay: UPDATE %s SET %s: %w", t.Name, a.Col, err)
+			}
+			next[setAt[i]] = v
+		}
+		t.Rows[ri] = next
+	}
+	return nil
 }
 
 // specFromSelect converts a parsed single-block SELECT back into clause

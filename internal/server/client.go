@@ -95,6 +95,28 @@ func (c *Client) Insert(ctx context.Context, table string, rows [][]string) (*In
 	return &resp, nil
 }
 
+// Delete removes the rows of a base table matching a condition
+// (empty deletes every row).
+func (c *Client) Delete(ctx context.Context, table, where string) (*DeleteResponse, error) {
+	var resp DeleteResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/delete", DeleteRequest{Tenant: c.Tenant, Table: table, Where: where}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Update rewrites the rows of a base table matching a condition by the
+// given SET clause body.
+func (c *Client) Update(ctx context.Context, table, set, where string) (*UpdateResponse, error) {
+	var resp UpdateResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/update", UpdateRequest{Tenant: c.Tenant, Table: table, Set: set, Where: where}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // SetFaults installs (k > 0) or clears (k = 0) storage fault injection.
 func (c *Client) SetFaults(ctx context.Context, k int64) error {
 	return c.roundTrip(ctx, http.MethodPost, "/admin/faults", FaultsRequest{K: k}, nil)

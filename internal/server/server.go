@@ -119,6 +119,8 @@ func New(sys *aggview.System, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
+	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /admin/faults", s.handleFaults)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -203,18 +205,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithSpan(ctx, span)
 	meter := budget.MeterFrom(ctx)
 
+	var (
+		res       *engine.Relation
+		used      []string
+		verdict   string
+		repro     string
+		slow      bool
+		elapsedNs int64
+	)
 	s.mu.RLock()
-	res, used, verdict, err := s.execute(ctx, req.SQL)
-	elapsedNs := time.Since(start).Nanoseconds()
-	// The slow-query repro must capture exactly the state the query
-	// read, so the script renders under the same read lock: mutations
-	// take the write lock and cannot interleave.
-	var repro string
-	slow := err == nil && s.slow.Enabled() && cfg.SlowQueryNs > 0 && elapsedNs >= cfg.SlowQueryNs
-	if slow {
-		repro = s.scriptLocked() + req.SQL + ";\n"
+	if s.sys.Store == nil {
+		// Snapshot-pinned execution: resolve the plan and pin a
+		// consistent version of every relation under a brief read lock,
+		// then run lock-free. Mutation batches installing new relation
+		// versions concurrently never disturb the pinned ones, so the
+		// query reads one materialization state end to end and writers
+		// are not stalled behind long scans.
+		var p *aggview.Prepared
+		var snap *engine.Snapshot
+		p, verdict, err = s.resolve(ctx, req.SQL)
+		if err == nil {
+			snap = s.sys.DB.Snapshot()
+		}
+		s.mu.RUnlock()
+		if err == nil {
+			if res, err = s.sys.ExecPreparedOnContext(ctx, p, snap); err == nil {
+				used = p.Used
+			}
+		}
+		elapsedNs = time.Since(start).Nanoseconds()
+		slow = err == nil && s.slow.Enabled() && cfg.SlowQueryNs > 0 && elapsedNs >= cfg.SlowQueryNs
+		if slow {
+			// The pinned snapshot is immutable, so the repro renders
+			// exactly the state the query read — no lock needed.
+			repro = s.script(snap.Relation) + req.SQL + ";\n"
+		}
+	} else {
+		// Fault-window path: the error-injecting Store backend must see
+		// live scans, so execution stays under the read lock, and the
+		// slow-query repro renders under the same lock (mutations take
+		// the write lock and cannot interleave).
+		res, used, verdict, err = s.execute(ctx, req.SQL)
+		elapsedNs = time.Since(start).Nanoseconds()
+		slow = err == nil && s.slow.Enabled() && cfg.SlowQueryNs > 0 && elapsedNs >= cfg.SlowQueryNs
+		if slow {
+			repro = s.scriptLocked() + req.SQL + ";\n"
+		}
+		s.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 
 	span.SetCache(verdict)
 	span.SetBudget(meter.Rows(), meter.Candidates(), meter.Mem())
@@ -271,12 +309,12 @@ func (s *Server) finishSpan(span *obs.Span, tenant string, meter *budget.Meter, 
 	return &rec
 }
 
-// execute resolves the query through the plan cache and runs it. Caller
+// resolve turns SQL into a prepared plan through the plan cache. Caller
 // holds the read lock.
-func (s *Server) execute(ctx context.Context, sql string) (*engine.Relation, []string, string, error) {
+func (s *Server) resolve(ctx context.Context, sql string) (*aggview.Prepared, string, error) {
 	key, err := s.sys.PlanKey(sql)
 	if err != nil {
-		return nil, nil, "", &badQueryError{err}
+		return nil, "", &badQueryError{err}
 	}
 	p, verdict, err := s.cache.GetOrPrepare(ctx, key, func() (*aggview.Prepared, error) {
 		return s.sys.PrepareContext(ctx, sql)
@@ -285,6 +323,16 @@ func (s *Server) execute(ctx context.Context, sql string) (*engine.Relation, []s
 		if !budget.IsTransient(err) {
 			err = &badQueryError{err}
 		}
+		return nil, verdict, err
+	}
+	return p, verdict, nil
+}
+
+// execute resolves the query through the plan cache and runs it against
+// live storage. Caller holds the read lock for the full duration.
+func (s *Server) execute(ctx context.Context, sql string) (*engine.Relation, []string, string, error) {
+	p, verdict, err := s.resolve(ctx, sql)
+	if err != nil {
 		return nil, nil, verdict, err
 	}
 	res, err := s.sys.ExecPreparedContext(ctx, p)
@@ -295,10 +343,12 @@ func (s *Server) execute(ctx context.Context, sql string) (*engine.Relation, []s
 }
 
 // handleInsert appends rows to a base table under the write lock.
-// Tracked views are maintained incrementally by the facade; the
-// database's invalidation hook then evicts every cached plan that
-// reads the mutated relations, so the next query of an affected shape
-// replans — a stale answer through the cache is impossible.
+// Tracked views are maintained incrementally by the facade inside the
+// same atomic batch; the database's invalidation hook then evicts every
+// cached plan that scans the mutated base relation, while plans ranging
+// only over maintained views survive warm (their materializations are
+// already current) — either way a stale answer through the cache is
+// impossible.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req InsertRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -325,6 +375,59 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Volatile("server.inserts").Inc()
 	writeJSON(w, http.StatusOK, InsertResponse{Inserted: len(rows)})
+}
+
+// handleDelete removes matching rows from a base table under the write
+// lock. Maintained views absorb the deletion inside the same atomic
+// batch (counting maintenance), so cached plans that range only over
+// such views survive; plans scanning the base table are evicted by the
+// invalidation hook as usual.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, "", ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	_, release, err := s.adm.Acquire(r.Context(), req.Tenant)
+	if err != nil {
+		s.writeTypedError(w, req.Tenant, err)
+		return
+	}
+	defer release()
+	s.mu.Lock()
+	n, err := s.sys.DeleteContext(r.Context(), req.Table, req.Where)
+	s.mu.Unlock()
+	if err != nil {
+		s.writeError(w, req.Tenant, ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.Volatile("server.deletes").Inc()
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: n})
+}
+
+// handleUpdate rewrites matching rows of a base table under the write
+// lock; maintenance semantics match handleDelete.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, "", ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	_, release, err := s.adm.Acquire(r.Context(), req.Tenant)
+	if err != nil {
+		s.writeTypedError(w, req.Tenant, err)
+		return
+	}
+	defer release()
+	s.mu.Lock()
+	n, err := s.sys.UpdateContext(r.Context(), req.Table, req.Set, req.Where)
+	s.mu.Unlock()
+	if err != nil {
+		s.writeError(w, req.Tenant, ErrKindBadRequest, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.Volatile("server.updates").Inc()
+	writeJSON(w, http.StatusOK, UpdateResponse{Updated: n})
 }
 
 // handleFaults installs (k > 0) or clears (k = 0) an error-injecting
@@ -380,10 +483,14 @@ func (s *Server) handleScript(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, script)
 }
 
-// scriptLocked renders the replayable state script; the caller must
-// hold at least the read lock (the slow-query log calls it under the
-// same RLock as the execution it repros).
-func (s *Server) scriptLocked() string {
+// scriptLocked renders the replayable state script from live storage;
+// the caller must hold at least the read lock.
+func (s *Server) scriptLocked() string { return s.script(s.sys.DB.Get) }
+
+// script renders the replayable state script, reading table contents
+// through get — the live database (under a lock) or a pinned snapshot
+// (lock-free; a snapshot never changes).
+func (s *Server) script(get func(string) (*engine.Relation, bool)) string {
 	var b strings.Builder
 	for _, t := range s.sys.Catalog.Tables() {
 		b.WriteString("CREATE TABLE " + t.Name + "(" + strings.Join(t.Columns, ", ") + ")")
@@ -394,7 +501,7 @@ func (s *Server) scriptLocked() string {
 			b.WriteString(" FD(" + strings.Join(fd.From, ", ") + " -> " + strings.Join(fd.To, ", ") + ")")
 		}
 		b.WriteString(";\n")
-		if rel, ok := s.sys.DB.Get(t.Name); ok && rel.Len() > 0 {
+		if rel, ok := get(t.Name); ok && rel.Len() > 0 {
 			b.WriteString("INSERT INTO " + t.Name + " VALUES ")
 			for i, row := range rel.Tuples {
 				if i > 0 {

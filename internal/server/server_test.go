@@ -89,21 +89,33 @@ func TestServerQueryRoundTrip(t *testing.T) {
 }
 
 // TestServerStaleImpossible is the cache-transparency gate: after
-// /insert mutates a base relation (maintaining the tracked view), a
-// repeated query must replan and reflect the new rows exactly — a
-// stale cached answer is a hard failure.
+// /insert mutates a base relation, every repeated query must reflect
+// the new rows exactly — a stale cached answer is a hard failure. Two
+// plan shapes exercise the two paths: a plan ranging over the tracked
+// view survives in the cache (the view absorbed the delta inside the
+// mutation's atomic batch, so the warm plan stays answer-correct),
+// while a plan scanning the base table directly is evicted and
+// replans.
 func TestServerStaleImpossible(t *testing.T) {
 	sys := servedSystem(t)
 	c, srv := testClient(t, sys, Config{})
 	ctx := context.Background()
-	const sql = "SELECT region, SUM(amount) FROM Sales GROUP BY region"
+	const viewSQL = "SELECT region, SUM(amount) FROM Sales GROUP BY region"
+	const baseSQL = "SELECT region, SUM(qty) FROM Sales GROUP BY region"
 
-	before, err := c.Query(ctx, sql)
+	before, err := c.Query(ctx, viewSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Query(ctx, sql); err != nil {
-		t.Fatal(err) // warm the cache
+	if len(before.Used) == 0 {
+		t.Fatalf("query %q should range over the materialized view", viewSQL)
+	}
+	baseBefore, err := c.Query(ctx, baseSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseBefore.Used) != 0 {
+		t.Fatalf("query %q should scan the base table (qty is not in the view)", baseSQL)
 	}
 
 	rows := EncodeRows([][]aggview.Value{{aggview.Str("n"), aggview.Int(100), aggview.Int(3)}})
@@ -111,14 +123,17 @@ func TestServerStaleImpossible(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	after, err := c.Query(ctx, sql)
+	// The view-backed plan survives: the maintained materialization
+	// already reflects the insert, so evicting it would only throw away
+	// a warm, still-correct plan.
+	after, err := c.Query(ctx, viewSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after.Cache != "miss" {
-		t.Fatalf("post-insert request cache=%q, want miss (plan must be invalidated)", after.Cache)
+	if after.Cache != "hit" {
+		t.Fatalf("post-insert view-backed request cache=%q, want hit (maintained view absorbed the delta)", after.Cache)
 	}
-	want, err := sys.QueryContext(ctx, sql)
+	want, err := sys.QueryContext(ctx, viewSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,6 +144,23 @@ func TestServerStaleImpossible(t *testing.T) {
 	beforeRel, _ := before.Relation()
 	if engine.ResultsEqualBag(beforeRel, gotRel) {
 		t.Fatal("insert did not change the aggregate — test lost its teeth")
+	}
+
+	// The base-table plan must be evicted and replan.
+	baseAfter, err := c.Query(ctx, baseSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseAfter.Cache != "miss" {
+		t.Fatalf("post-insert base-table request cache=%q, want miss (plan must be invalidated)", baseAfter.Cache)
+	}
+	baseWant, err := sys.QueryContext(ctx, baseSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGot, _ := baseAfter.Relation()
+	if !engine.ResultsEqualBag(baseWant, baseGot) {
+		t.Fatalf("served base-table answer is stale:\nwant %v\ngot %v", baseWant, baseGot)
 	}
 	if srv.Cache().Stats().Invalidated == 0 {
 		t.Fatal("no cached plan was invalidated by the insert")
@@ -148,6 +180,60 @@ func (b *blockingStorage) Scan(name string) (*engine.ColTable, bool, error) {
 	b.once.Do(func() { close(b.scanned) })
 	<-b.gate
 	return b.inner.Scan(name)
+}
+
+// TestServerDeleteUpdate pins the mutation endpoints end to end: rows
+// removed and rewritten over the wire propagate into the maintained
+// view, served answers stay bag-equal to direct evaluation, and the
+// view-backed plan survives both mutations in the cache.
+func TestServerDeleteUpdate(t *testing.T) {
+	sys := servedSystem(t)
+	c, _ := testClient(t, sys, Config{})
+	ctx := context.Background()
+	const sql = "SELECT region, SUM(amount) FROM Sales GROUP BY region"
+
+	if _, err := c.Query(ctx, sql); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+
+	del, err := c.Delete(ctx, "Sales", "amount < 15 AND region = 'n'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Deleted != 1 {
+		t.Fatalf("deleted %d rows, want 1", del.Deleted)
+	}
+	upd, err := c.Update(ctx, "Sales", "amount = amount + 100", "region = 's'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Updated != 1 {
+		t.Fatalf("updated %d rows, want 1", upd.Updated)
+	}
+
+	resp, err := c.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		t.Fatalf("post-mutation view-backed request cache=%q, want hit", resp.Cache)
+	}
+	want, err := sys.QueryContext(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := resp.Relation()
+	if !engine.ResultsEqualBag(want, got) {
+		t.Fatalf("served answer diverged after delete+update:\nwant %v\ngot %v", want, got)
+	}
+
+	// Typed errors for malformed mutations.
+	if _, err := c.Delete(ctx, "Nope", ""); err == nil {
+		t.Fatal("delete from unknown table should fail")
+	}
+	if _, err := c.Update(ctx, "Sales", "nope = 1", ""); err == nil {
+		t.Fatal("update of unknown column should fail")
+	}
 }
 
 // TestServerDisconnectCancels pins the fault path the load harness

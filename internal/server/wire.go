@@ -170,6 +170,35 @@ type InsertResponse struct {
 	Inserted int `json:"inserted"`
 }
 
+// DeleteRequest is the body of POST /delete: remove the rows of Table
+// matching the Where condition (the conjunctive comparison grammar of
+// SELECT, without the WHERE keyword; empty deletes every row).
+type DeleteRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+	Table  string `json:"table"`
+	Where  string `json:"where,omitempty"`
+}
+
+// DeleteResponse is the success body of POST /delete.
+type DeleteResponse struct {
+	Deleted int `json:"deleted"`
+}
+
+// UpdateRequest is the body of POST /update: rewrite the rows of Table
+// matching Where by the SET clause body in Set, e.g.
+// "Charge = Charge + 1, Year = 1996" (expressions see old values).
+type UpdateRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+	Table  string `json:"table"`
+	Set    string `json:"set"`
+	Where  string `json:"where,omitempty"`
+}
+
+// UpdateResponse is the success body of POST /update.
+type UpdateResponse struct {
+	Updated int `json:"updated"`
+}
+
 // FaultsRequest is the body of POST /admin/faults: K>0 installs an
 // engine.FaultStorage failing from the K-th scan on; K=0 clears it.
 // The load harness uses it to open and close fault windows over the

@@ -282,6 +282,64 @@ func (ins *Insert) SQL() string {
 	return b.String()
 }
 
+// Delete removes the rows of a base table matching a condition (all
+// rows when Where is nil):
+//
+//	DELETE FROM R1 WHERE A > 3 AND B = 'x'
+//
+// The condition grammar is the same conjunctive comparison language as
+// SELECT's WHERE, so mutation scripts round-trip through the oracle.
+type Delete struct {
+	Table string
+	Where Expr // nil = unconditional
+}
+
+func (*Delete) stmt() {}
+
+// SQL renders the statement back to script text.
+func (d *Delete) SQL() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.SQL()
+	}
+	return s
+}
+
+// Assignment is one SET clause of an UPDATE: column := expression over
+// the row's old values (arithmetic and literals; no aggregates).
+type Assignment struct {
+	Col  string
+	Expr Expr
+}
+
+// Update rewrites the rows of a base table matching a condition (all
+// rows when Where is nil):
+//
+//	UPDATE R1 SET B = B + 1, C = 'y' WHERE A = 3
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr // nil = unconditional
+}
+
+func (*Update) stmt() {}
+
+// SQL renders the statement back to script text.
+func (u *Update) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + u.Table + " SET ")
+	for i, a := range u.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Col + " = " + a.Expr.SQL())
+	}
+	if u.Where != nil {
+		b.WriteString(" WHERE " + u.Where.SQL())
+	}
+	return b.String()
+}
+
 // QueryStatement is a bare SELECT to be rewritten/evaluated.
 type QueryStatement struct {
 	Query *Select

@@ -135,6 +135,12 @@ func (p *parser) parseStatement() (Statement, error) {
 	if p.accept("INSERT") {
 		return p.parseInsert()
 	}
+	if p.accept("DELETE") {
+		return p.parseDelete()
+	}
+	if p.accept("UPDATE") {
+		return p.parseUpdate()
+	}
 	sel, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -186,6 +192,67 @@ func (p *parser) parseInsert() (*Insert, error) {
 		}
 		p.i++
 	}
+}
+
+// parseDelete parses DELETE FROM name [WHERE cond] with the DELETE
+// keyword already consumed.
+func (p *parser) parseDelete() (*Delete, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.accept("WHERE") {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = cond
+	}
+	return d, nil
+}
+
+// parseUpdate parses UPDATE name SET col = expr, ... [WHERE cond] with
+// the UPDATE keyword already consumed. Assignment right-hand sides are
+// arithmetic expressions over the row's old column values.
+func (p *parser) parseUpdate() (*Update, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: name}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		e, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Col: col, Expr: e})
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.i++
+	}
+	if p.accept("WHERE") {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = cond
+	}
+	return u, nil
 }
 
 // parseLiteral parses one literal constant: a number (optionally

@@ -98,4 +98,5 @@ var keywords = map[string]bool{
 	"VIEW": true, "KEY": true, "FD": true, "NOT": true, "OR": true,
 	"TRUE": true, "FALSE": true, "BETWEEN": true,
 	"INSERT": true, "INTO": true, "VALUES": true,
+	"DELETE": true, "UPDATE": true, "SET": true,
 }

@@ -47,6 +47,14 @@ go test -race -short -run 'Cancel|Budget|FaultInject' ./...
 # (-faults defaults to on). `make soak` runs the long version.
 go run ./cmd/oraclerunner -seeds 1,2 -n 150
 
+# Mutation-oracle gate (DESIGN.md section 14): 320 seeded scenarios of
+# inserts/deletes/updates/queries over tracked views, each checked
+# serially (views re-derived after every mutation), under concurrent
+# snapshot readers (no torn batches), and with cancellations injected
+# at the maintenance site (exact bag or clean typed abort, pre-state
+# intact, clean retry succeeds). `make mutate` runs the long version.
+go run ./cmd/oraclerunner -mutate -seeds 21,22 -n 160
+
 # Telemetry gate (DESIGN.md section 13): a seeded in-process workload
 # with a 1ns slow-query threshold; the telemetry pass strict-decodes
 # /debug/flightrec (unknown span fields fail loudly), requires
